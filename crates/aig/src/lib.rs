@@ -1,0 +1,49 @@
+//! And-Inverter Graphs and the AIGER exchange format.
+//!
+//! The HWMCC benchmark suites used by *Predicting Lemmas in Generalization of
+//! IC3* (DAC 2024) are distributed as AIGER circuits. This crate provides the
+//! circuit layer of the reproduction:
+//!
+//! * [`Aig`] — an and-inverter graph with inputs, latches, and gates, outputs,
+//!   bad-state properties and invariant constraints (AIGER 1.9 features),
+//! * [`AigBuilder`] — programmatic construction with structural hashing and
+//!   constant folding, used by the synthetic benchmark families,
+//! * [`parse_aiger`] / [`Aig::to_ascii`] / [`Aig::to_binary`] — readers and
+//!   writers for both the ASCII (`aag`) and binary (`aig`) formats,
+//! * [`Simulator`] — cycle-accurate simulation, used to replay and validate
+//!   counterexample traces produced by the model checkers.
+//!
+//! # Example
+//!
+//! ```
+//! use plic3_aig::AigBuilder;
+//!
+//! // A 1-bit counter that toggles every cycle; the bad state is "latch is 1
+//! // while the freeze input is 1".
+//! let mut b = AigBuilder::new();
+//! let freeze = b.input();
+//! let state = b.latch(Some(false));
+//! b.set_latch_next(state, !state);
+//! let bad = b.and(state, freeze);
+//! b.add_bad(bad);
+//! let aig = b.build();
+//! assert_eq!(aig.num_inputs(), 1);
+//! assert_eq!(aig.num_latches(), 1);
+//! assert_eq!(aig.num_bad(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod aig;
+mod builder;
+mod lit;
+mod parser;
+mod sim;
+mod writer;
+
+pub use aig::{Aig, AndGate, Latch, ValidateAigError};
+pub use builder::AigBuilder;
+pub use lit::AigLit;
+pub use parser::{parse_aiger, ParseAigerError};
+pub use sim::{SimStep, Simulator};

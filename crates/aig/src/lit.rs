@@ -1,0 +1,135 @@
+//! AIGER literals.
+
+use std::fmt;
+use std::ops::Not;
+
+/// A literal of an and-inverter graph, in the AIGER encoding `2 * variable + sign`.
+///
+/// Variable `0` is the constant, so [`AigLit::FALSE`] has code `0` and
+/// [`AigLit::TRUE`] has code `1`.
+///
+/// # Example
+///
+/// ```
+/// use plic3_aig::AigLit;
+/// let l = AigLit::positive(3);
+/// assert_eq!(l.code(), 6);
+/// assert_eq!((!l).code(), 7);
+/// assert_eq!(l.variable(), 3);
+/// assert!(!l.is_negated());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct AigLit(u32);
+
+impl AigLit {
+    /// The constant-false literal (AIGER code 0).
+    pub const FALSE: AigLit = AigLit(0);
+    /// The constant-true literal (AIGER code 1).
+    pub const TRUE: AigLit = AigLit(1);
+
+    /// Creates a literal from its raw AIGER code.
+    pub const fn from_code(code: u32) -> Self {
+        AigLit(code)
+    }
+
+    /// The positive literal of `variable`.
+    pub const fn positive(variable: u32) -> Self {
+        AigLit(variable << 1)
+    }
+
+    /// The negative literal of `variable`.
+    pub const fn negative(variable: u32) -> Self {
+        AigLit((variable << 1) | 1)
+    }
+
+    /// The raw AIGER code (`2 * variable + sign`).
+    pub const fn code(self) -> u32 {
+        self.0
+    }
+
+    /// The AIGER variable index of this literal.
+    pub const fn variable(self) -> u32 {
+        self.0 >> 1
+    }
+
+    /// Returns `true` if the literal is negated.
+    pub const fn is_negated(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// Returns `true` if this is one of the two constant literals.
+    pub const fn is_constant(self) -> bool {
+        self.variable() == 0
+    }
+
+    /// For constant literals, the Boolean value; `None` otherwise.
+    pub const fn constant_value(self) -> Option<bool> {
+        match self.0 {
+            0 => Some(false),
+            1 => Some(true),
+            _ => None,
+        }
+    }
+
+    /// The positive (non-negated) literal of the same variable.
+    pub const fn without_negation(self) -> Self {
+        AigLit(self.0 & !1)
+    }
+
+    /// Applies a negation conditionally: returns `!self` if `negate` is true.
+    pub const fn negate_if(self, negate: bool) -> Self {
+        AigLit(self.0 ^ negate as u32)
+    }
+}
+
+impl Not for AigLit {
+    type Output = AigLit;
+
+    fn not(self) -> AigLit {
+        AigLit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Display for AigLit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants() {
+        assert_eq!(AigLit::FALSE.code(), 0);
+        assert_eq!(AigLit::TRUE.code(), 1);
+        assert_eq!(!AigLit::FALSE, AigLit::TRUE);
+        assert!(AigLit::FALSE.is_constant());
+        assert_eq!(AigLit::FALSE.constant_value(), Some(false));
+        assert_eq!(AigLit::TRUE.constant_value(), Some(true));
+        assert_eq!(AigLit::positive(2).constant_value(), None);
+    }
+
+    #[test]
+    fn variable_and_sign() {
+        let l = AigLit::negative(5);
+        assert_eq!(l.variable(), 5);
+        assert!(l.is_negated());
+        assert_eq!(l.without_negation(), AigLit::positive(5));
+        assert_eq!(!l, AigLit::positive(5));
+        assert_eq!(AigLit::from_code(11), l);
+    }
+
+    #[test]
+    fn negate_if_is_conditional() {
+        let l = AigLit::positive(4);
+        assert_eq!(l.negate_if(false), l);
+        assert_eq!(l.negate_if(true), !l);
+    }
+
+    #[test]
+    fn display_is_the_raw_code() {
+        assert_eq!(AigLit::negative(3).to_string(), "7");
+    }
+}

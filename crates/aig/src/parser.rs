@@ -1,0 +1,393 @@
+//! AIGER readers (ASCII `aag` and binary `aig`).
+
+use crate::{Aig, AigLit, AndGate, Latch};
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by [`parse_aiger`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseAigerError {
+    message: String,
+}
+
+impl ParseAigerError {
+    fn new(message: impl Into<String>) -> Self {
+        ParseAigerError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseAigerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid AIGER input: {}", self.message)
+    }
+}
+
+impl Error for ParseAigerError {}
+
+struct Cursor<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        Cursor { data, pos: 0 }
+    }
+
+    fn eof(&self) -> bool {
+        self.pos >= self.data.len()
+    }
+
+    fn read_line(&mut self) -> Option<&'a str> {
+        if self.eof() {
+            return None;
+        }
+        let start = self.pos;
+        while self.pos < self.data.len() && self.data[self.pos] != b'\n' {
+            self.pos += 1;
+        }
+        let end = self.pos;
+        if self.pos < self.data.len() {
+            self.pos += 1; // consume the newline
+        }
+        std::str::from_utf8(&self.data[start..end]).ok().map(str::trim_end)
+    }
+
+    fn read_byte(&mut self) -> Option<u8> {
+        if self.eof() {
+            None
+        } else {
+            let b = self.data[self.pos];
+            self.pos += 1;
+            Some(b)
+        }
+    }
+}
+
+fn parse_counts(header: &str) -> Result<(bool, Vec<usize>), ParseAigerError> {
+    let mut parts = header.split_whitespace();
+    let binary = match parts.next() {
+        Some("aag") => false,
+        Some("aig") => true,
+        other => {
+            return Err(ParseAigerError::new(format!(
+                "expected 'aag' or 'aig' magic, found {other:?}"
+            )))
+        }
+    };
+    let counts: Result<Vec<usize>, _> = parts.map(str::parse).collect();
+    let counts = counts.map_err(|_| ParseAigerError::new("non-numeric header field"))?;
+    if counts.len() < 5 {
+        return Err(ParseAigerError::new(
+            "header must declare at least M I L O A",
+        ));
+    }
+    Ok((binary, counts))
+}
+
+fn parse_lit(token: &str, what: &str) -> Result<AigLit, ParseAigerError> {
+    token
+        .parse::<u32>()
+        .map(AigLit::from_code)
+        .map_err(|_| ParseAigerError::new(format!("bad {what} literal '{token}'")))
+}
+
+fn parse_init(token: Option<&str>, latch_lit: AigLit) -> Result<Option<bool>, ParseAigerError> {
+    match token {
+        None => Ok(Some(false)),
+        Some("0") => Ok(Some(false)),
+        Some("1") => Ok(Some(true)),
+        Some(other) => {
+            let lit = parse_lit(other, "latch reset")?;
+            if lit == latch_lit {
+                Ok(None)
+            } else {
+                Err(ParseAigerError::new(format!(
+                    "latch reset must be 0, 1 or the latch literal, found {other}"
+                )))
+            }
+        }
+    }
+}
+
+/// Parses an AIGER document, automatically detecting the ASCII (`aag`) or
+/// binary (`aig`) variant, including the AIGER 1.9 `B` (bad) and `C`
+/// (invariant constraint) sections, the symbol table, and trailing comments.
+///
+/// # Errors
+///
+/// Returns [`ParseAigerError`] when the header, a literal, or the binary
+/// delta stream is malformed, or when the resulting graph fails
+/// [`Aig::validate`].
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), plic3_aig::ParseAigerError> {
+/// let text = "aag 1 1 0 1 0\n2\n2\n";
+/// let aig = plic3_aig::parse_aiger(text.as_bytes())?;
+/// assert_eq!(aig.num_inputs(), 1);
+/// assert_eq!(aig.num_outputs(), 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_aiger(input: &[u8]) -> Result<Aig, ParseAigerError> {
+    let mut cursor = Cursor::new(input);
+    let header = cursor
+        .read_line()
+        .ok_or_else(|| ParseAigerError::new("empty input"))?;
+    let (binary, counts) = parse_counts(header)?;
+    let (_m, i, l, o, a) = (counts[0], counts[1], counts[2], counts[3], counts[4]);
+    let b = counts.get(5).copied().unwrap_or(0);
+    let c = counts.get(6).copied().unwrap_or(0);
+
+    let mut aig = Aig {
+        num_inputs: i,
+        ..Aig::new()
+    };
+
+    fn expect_line<'a>(cursor: &mut Cursor<'a>, what: &str) -> Result<&'a str, ParseAigerError> {
+        cursor
+            .read_line()
+            .ok_or_else(|| ParseAigerError::new(format!("unexpected end of file in {what}")))
+    }
+
+    // Inputs (explicit only in the ASCII format).
+    if !binary {
+        for k in 0..i {
+            let line = expect_line(&mut cursor, "inputs")?;
+            let lit = parse_lit(line.split_whitespace().next().unwrap_or(""), "input")?;
+            if lit != AigLit::positive(k as u32 + 1) {
+                return Err(ParseAigerError::new(format!(
+                    "input {k} must be literal {}, found {lit}",
+                    AigLit::positive(k as u32 + 1)
+                )));
+            }
+        }
+    }
+
+    // Latches.
+    for k in 0..l {
+        let line = expect_line(&mut cursor, "latches")?;
+        let mut tokens = line.split_whitespace();
+        let latch_lit = AigLit::positive((i + k + 1) as u32);
+        let (lit, next, init_tok) = if binary {
+            let next = parse_lit(tokens.next().unwrap_or(""), "latch next")?;
+            (latch_lit, next, tokens.next())
+        } else {
+            let lit = parse_lit(tokens.next().unwrap_or(""), "latch")?;
+            let next = parse_lit(tokens.next().unwrap_or(""), "latch next")?;
+            (lit, next, tokens.next())
+        };
+        if lit != latch_lit {
+            return Err(ParseAigerError::new(format!(
+                "latch {k} must be literal {latch_lit}, found {lit}"
+            )));
+        }
+        let init = parse_init(init_tok, latch_lit)?;
+        aig.latches.push(Latch { lit, next, init });
+    }
+
+    // Outputs, bad, constraints.
+    for _ in 0..o {
+        let line = expect_line(&mut cursor, "outputs")?;
+        aig.outputs.push(parse_lit(line, "output")?);
+    }
+    for _ in 0..b {
+        let line = expect_line(&mut cursor, "bad states")?;
+        aig.bad.push(parse_lit(line, "bad")?);
+    }
+    for _ in 0..c {
+        let line = expect_line(&mut cursor, "constraints")?;
+        aig.constraints.push(parse_lit(line, "constraint")?);
+    }
+
+    // AND gates.
+    if binary {
+        for k in 0..a {
+            let lhs = AigLit::positive((i + l + k + 1) as u32);
+            let delta0 = read_delta(&mut cursor)?;
+            let delta1 = read_delta(&mut cursor)?;
+            let rhs0 = lhs
+                .code()
+                .checked_sub(delta0)
+                .ok_or_else(|| ParseAigerError::new("delta0 larger than lhs"))?;
+            let rhs1 = rhs0
+                .checked_sub(delta1)
+                .ok_or_else(|| ParseAigerError::new("delta1 larger than rhs0"))?;
+            aig.ands.push(AndGate {
+                lhs,
+                rhs0: AigLit::from_code(rhs0),
+                rhs1: AigLit::from_code(rhs1),
+            });
+        }
+    } else {
+        for k in 0..a {
+            let line = expect_line(&mut cursor, "and gates")?;
+            let mut tokens = line.split_whitespace();
+            let lhs = parse_lit(tokens.next().unwrap_or(""), "and lhs")?;
+            let rhs0 = parse_lit(tokens.next().unwrap_or(""), "and rhs0")?;
+            let rhs1 = parse_lit(tokens.next().unwrap_or(""), "and rhs1")?;
+            let expected = AigLit::positive((i + l + k + 1) as u32);
+            if lhs != expected {
+                return Err(ParseAigerError::new(format!(
+                    "and gate {k} must define literal {expected}, found {lhs}"
+                )));
+            }
+            aig.ands.push(AndGate { lhs, rhs0, rhs1 });
+        }
+    }
+
+    // Symbol table and comments.
+    let mut in_comments = false;
+    while let Some(line) = cursor.read_line() {
+        if in_comments {
+            aig.comments.push(line.to_string());
+        } else if line == "c" {
+            in_comments = true;
+        } else if line.is_empty()
+            || line.starts_with('i')
+            || line.starts_with('l')
+            || line.starts_with('o')
+            || line.starts_with('b')
+            || line.starts_with('j')
+            || line.starts_with('f')
+        {
+            // Symbol table entries are accepted and ignored.
+            continue;
+        } else {
+            return Err(ParseAigerError::new(format!(
+                "unexpected trailing line '{line}'"
+            )));
+        }
+    }
+
+    aig.validate()
+        .map_err(|e| ParseAigerError::new(e.to_string()))?;
+    Ok(aig)
+}
+
+fn read_delta(cursor: &mut Cursor<'_>) -> Result<u32, ParseAigerError> {
+    let mut value: u32 = 0;
+    let mut shift = 0u32;
+    loop {
+        let byte = cursor
+            .read_byte()
+            .ok_or_else(|| ParseAigerError::new("unexpected end of binary delta stream"))?;
+        value |= u32::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(value);
+        }
+        shift += 7;
+        if shift > 28 {
+            return Err(ParseAigerError::new("binary delta overflows 32 bits"));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AigBuilder, Simulator};
+
+    fn sample() -> Aig {
+        let mut b = AigBuilder::new();
+        let x = b.input();
+        let y = b.input();
+        let l = b.latch(Some(false));
+        let l2 = b.latch(Some(true));
+        let g = b.and(x, l);
+        let h = b.or(g, y);
+        b.set_latch_next(l, h);
+        b.set_latch_next(l2, l);
+        b.add_bad(g);
+        b.add_constraint(!l2);
+        b.add_output(h);
+        b.add_comment("roundtrip sample");
+        b.build()
+    }
+
+    #[test]
+    fn ascii_roundtrip_preserves_structure() {
+        let aig = sample();
+        let parsed = parse_aiger(aig.to_ascii().as_bytes()).expect("parse own output");
+        assert_eq!(parsed, aig);
+    }
+
+    #[test]
+    fn binary_roundtrip_preserves_structure() {
+        let aig = sample();
+        let parsed = parse_aiger(&aig.to_binary()).expect("parse own binary output");
+        assert_eq!(parsed, aig);
+    }
+
+    #[test]
+    fn roundtrip_preserves_simulation_behaviour() {
+        let aig = sample();
+        let parsed = parse_aiger(aig.to_ascii().as_bytes()).expect("parse");
+        let inputs: Vec<Vec<bool>> = (0..8).map(|i| vec![i % 2 == 0, i % 3 == 0]).collect();
+        let mut sim_a = Simulator::new(&aig);
+        let mut sim_b = Simulator::new(&parsed);
+        for frame in &inputs {
+            assert_eq!(sim_a.step(frame), sim_b.step(frame));
+        }
+    }
+
+    #[test]
+    fn parses_reference_ascii_example() {
+        // The classic toggle flip-flop example from the AIGER documentation.
+        let text = "aag 1 0 1 2 0\n2 3\n2\n3\n";
+        let aig = parse_aiger(text.as_bytes()).expect("valid");
+        assert_eq!(aig.num_latches(), 1);
+        assert_eq!(aig.num_outputs(), 2);
+        assert_eq!(aig.latches()[0].next, AigLit::from_code(3));
+    }
+
+    #[test]
+    fn parses_symbol_table_and_comments() {
+        let text = "aag 1 1 0 1 0\n2\n2\ni0 request\no0 grant\nc\nhello\nworld\n";
+        let aig = parse_aiger(text.as_bytes()).expect("valid");
+        assert_eq!(aig.comments(), &["hello".to_string(), "world".to_string()]);
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_headers() {
+        assert!(parse_aiger(b"xyz 1 1 0 1 0\n").is_err());
+        assert!(parse_aiger(b"aag 1 1\n").is_err());
+        assert!(parse_aiger(b"aag a b c d e\n").is_err());
+        assert!(parse_aiger(b"").is_err());
+    }
+
+    #[test]
+    fn rejects_truncated_sections() {
+        let err = parse_aiger(b"aag 2 2 0 1 0\n2\n").unwrap_err();
+        assert!(err.to_string().contains("unexpected end of file"));
+    }
+
+    #[test]
+    fn rejects_misnumbered_inputs_and_gates() {
+        assert!(parse_aiger(b"aag 1 1 0 0 0\n4\n").is_err());
+        assert!(parse_aiger(b"aag 3 2 0 0 1\n2\n4\n8 2 4\n").is_err());
+    }
+
+    #[test]
+    fn uninitialized_latch_roundtrip() {
+        let mut b = AigBuilder::new();
+        let l = b.latch(None);
+        b.set_latch_next(l, l);
+        b.add_output(l);
+        let aig = b.build();
+        let parsed = parse_aiger(aig.to_ascii().as_bytes()).expect("valid");
+        assert_eq!(parsed.latches()[0].init, None);
+        let parsed_bin = parse_aiger(&aig.to_binary()).expect("valid");
+        assert_eq!(parsed_bin.latches()[0].init, None);
+    }
+
+    #[test]
+    fn rejects_invalid_latch_reset() {
+        let text = "aag 2 1 1 0 0\n2\n4 2 6\n";
+        assert!(parse_aiger(text.as_bytes()).is_err());
+    }
+}

@@ -1,0 +1,204 @@
+//! AIGER writers (ASCII `aag` and binary `aig`).
+
+use crate::{Aig, AigLit};
+use std::fmt::Write as _;
+
+impl Aig {
+    /// Serializes the graph in the ASCII AIGER (`aag`) format.
+    ///
+    /// The extended `B C` header fields are emitted only when the graph has
+    /// bad-state literals or invariant constraints.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use plic3_aig::AigBuilder;
+    /// let mut b = AigBuilder::new();
+    /// let x = b.input();
+    /// b.add_output(x);
+    /// let text = b.build().to_ascii();
+    /// assert!(text.starts_with("aag 1 1 0 1 0"));
+    /// ```
+    pub fn to_ascii(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "aag {} {} {} {} {}",
+            self.max_var(),
+            self.num_inputs(),
+            self.num_latches(),
+            self.num_outputs(),
+            self.num_ands()
+        );
+        if self.num_bad() > 0 || self.num_constraints() > 0 {
+            let _ = write!(out, " {} {}", self.num_bad(), self.num_constraints());
+        }
+        out.push('\n');
+        for i in 0..self.num_inputs() {
+            let _ = writeln!(out, "{}", self.input(i));
+        }
+        for latch in self.latches() {
+            match latch.init {
+                Some(false) => {
+                    let _ = writeln!(out, "{} {}", latch.lit, latch.next);
+                }
+                Some(true) => {
+                    let _ = writeln!(out, "{} {} 1", latch.lit, latch.next);
+                }
+                None => {
+                    let _ = writeln!(out, "{} {} {}", latch.lit, latch.next, latch.lit);
+                }
+            }
+        }
+        for &o in self.outputs() {
+            let _ = writeln!(out, "{o}");
+        }
+        for &b in self.bad() {
+            let _ = writeln!(out, "{b}");
+        }
+        for &c in self.constraints() {
+            let _ = writeln!(out, "{c}");
+        }
+        for gate in self.ands() {
+            let _ = writeln!(out, "{} {} {}", gate.lhs, gate.rhs0, gate.rhs1);
+        }
+        if !self.comments().is_empty() {
+            out.push_str("c\n");
+            for line in self.comments() {
+                let _ = writeln!(out, "{line}");
+            }
+        }
+        out
+    }
+
+    /// Serializes the graph in the binary AIGER (`aig`) format.
+    ///
+    /// AND-gate operands are delta-compressed exactly as specified by the AIGER
+    /// format documentation.
+    pub fn to_binary(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        let mut header = format!(
+            "aig {} {} {} {} {}",
+            self.max_var(),
+            self.num_inputs(),
+            self.num_latches(),
+            self.num_outputs(),
+            self.num_ands()
+        );
+        if self.num_bad() > 0 || self.num_constraints() > 0 {
+            header.push_str(&format!(" {} {}", self.num_bad(), self.num_constraints()));
+        }
+        header.push('\n');
+        out.extend_from_slice(header.as_bytes());
+        for latch in self.latches() {
+            let line = match latch.init {
+                Some(false) => format!("{}\n", latch.next),
+                Some(true) => format!("{} 1\n", latch.next),
+                None => format!("{} {}\n", latch.next, latch.lit),
+            };
+            out.extend_from_slice(line.as_bytes());
+        }
+        for &o in self.outputs() {
+            out.extend_from_slice(format!("{o}\n").as_bytes());
+        }
+        for &b in self.bad() {
+            out.extend_from_slice(format!("{b}\n").as_bytes());
+        }
+        for &c in self.constraints() {
+            out.extend_from_slice(format!("{c}\n").as_bytes());
+        }
+        for gate in self.ands() {
+            let lhs = gate.lhs.code();
+            let (rhs0, rhs1) = normalize(gate.rhs0, gate.rhs1);
+            debug_assert!(lhs > rhs0 && rhs0 >= rhs1);
+            write_delta(&mut out, lhs - rhs0);
+            write_delta(&mut out, rhs0 - rhs1);
+        }
+        if !self.comments().is_empty() {
+            out.extend_from_slice(b"c\n");
+            for line in self.comments() {
+                out.extend_from_slice(format!("{line}\n").as_bytes());
+            }
+        }
+        out
+    }
+}
+
+fn normalize(a: AigLit, b: AigLit) -> (u32, u32) {
+    if a.code() >= b.code() {
+        (a.code(), b.code())
+    } else {
+        (b.code(), a.code())
+    }
+}
+
+/// Writes a non-negative delta in the AIGER variable-length encoding
+/// (7 bits per byte, high bit set on continuation bytes).
+fn write_delta(out: &mut Vec<u8>, mut delta: u32) {
+    loop {
+        let byte = (delta & 0x7f) as u8;
+        delta >>= 7;
+        if delta == 0 {
+            out.push(byte);
+            break;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AigBuilder;
+
+    fn sample() -> Aig {
+        let mut b = AigBuilder::new();
+        let x = b.input();
+        let l = b.latch(Some(false));
+        let l2 = b.latch(None);
+        let g = b.and(x, l);
+        b.set_latch_next(l, g);
+        b.set_latch_next(l2, l);
+        b.add_bad(g);
+        b.add_constraint(!l2);
+        b.add_comment("sample");
+        b.build()
+    }
+
+    #[test]
+    fn ascii_header_and_sections() {
+        let aig = sample();
+        let text = aig.to_ascii();
+        let mut lines = text.lines();
+        assert_eq!(lines.next(), Some("aag 4 1 2 0 1 1 1"));
+        // 1 input line, 2 latch lines, 1 bad, 1 constraint, 1 and.
+        assert_eq!(text.lines().count(), 1 + 1 + 2 + 1 + 1 + 1 + 2);
+        assert!(text.contains("\nc\nsample\n"));
+    }
+
+    #[test]
+    fn ascii_encodes_latch_resets() {
+        let aig = sample();
+        let text = aig.to_ascii();
+        // Latch with init=None repeats its own literal as the reset value.
+        let uninit = aig.latches()[1];
+        assert!(text.contains(&format!("{} {} {}", uninit.lit, uninit.next, uninit.lit)));
+    }
+
+    #[test]
+    fn delta_encoding_is_7_bit_groups() {
+        let mut buf = Vec::new();
+        write_delta(&mut buf, 0);
+        write_delta(&mut buf, 0x7f);
+        write_delta(&mut buf, 0x80);
+        assert_eq!(buf, vec![0x00, 0x7f, 0x80, 0x01]);
+    }
+
+    #[test]
+    fn binary_starts_with_header_line() {
+        let aig = sample();
+        let bytes = aig.to_binary();
+        let text = String::from_utf8_lossy(&bytes);
+        assert!(text.starts_with("aig 4 1 2 0 1 1 1\n"));
+    }
+}

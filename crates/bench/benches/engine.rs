@@ -1,0 +1,102 @@
+//! Micro-benchmarks of the individual engines and of the generalization /
+//! prediction machinery (the "where does the time go" companion to the
+//! experiment benches).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use plic3::{Config, GeneralizeMode, Ic3};
+use plic3_bench::prediction_showcase;
+use plic3_bmc::{Bmc, KInduction};
+use plic3_logic::{Lit, Var};
+use plic3_sat::Solver;
+use std::hint::black_box;
+
+/// Pigeonhole formula: n+1 pigeons into n holes (unsatisfiable).
+fn pigeonhole(n: u32) -> Solver {
+    let mut solver = Solver::new();
+    let pigeons = n + 1;
+    let var = |p: u32, h: u32| Lit::pos(Var::new(p * n + h));
+    solver.ensure_vars((pigeons * n) as usize);
+    for p in 0..pigeons {
+        solver.add_clause((0..n).map(|h| var(p, h)));
+    }
+    for h in 0..n {
+        for p1 in 0..pigeons {
+            for p2 in (p1 + 1)..pigeons {
+                solver.add_clause([!var(p1, h), !var(p2, h)]);
+            }
+        }
+    }
+    solver
+}
+
+fn bench_sat(c: &mut Criterion) {
+    c.bench_function("sat/pigeonhole_7", |b| {
+        b.iter(|| {
+            let mut solver = pigeonhole(7);
+            black_box(solver.solve(&[]))
+        })
+    });
+}
+
+fn bench_ic3_prediction(c: &mut Criterion) {
+    let bench = prediction_showcase();
+    let mut group = c.benchmark_group("ic3/generalization");
+    group.bench_function("baseline", |b| {
+        b.iter(|| {
+            let mut engine = Ic3::new(bench.ts(), Config::ric3_like());
+            black_box(engine.check())
+        })
+    });
+    group.bench_function("lemma_prediction", |b| {
+        b.iter(|| {
+            let mut engine =
+                Ic3::new(bench.ts(), Config::ric3_like().with_lemma_prediction(true));
+            black_box(engine.check())
+        })
+    });
+    group.bench_function("plain_mic", |b| {
+        b.iter(|| {
+            let mut engine = Ic3::new(
+                bench.ts(),
+                Config::ric3_like().with_generalize(GeneralizeMode::Mic),
+            );
+            black_box(engine.check())
+        })
+    });
+    group.finish();
+}
+
+fn bench_bmc_and_kind(c: &mut Criterion) {
+    let suite = plic3_benchmarks::Suite::hwmcc_like();
+    let unsafe_counter = suite
+        .find("counter_enabled_unsafe_6")
+        .expect("instance exists")
+        .clone();
+    let safe_shift = suite
+        .find("shift_zero_safe_8")
+        .expect("instance exists")
+        .clone();
+    let mut group = c.benchmark_group("baselines");
+    group.bench_function("bmc/counter_bug", |b| {
+        let ts = unsafe_counter.ts();
+        b.iter(|| {
+            let mut bmc = Bmc::new(&ts);
+            black_box(bmc.check(12))
+        })
+    });
+    group.bench_function("kind/shift_register", |b| {
+        let ts = safe_shift.ts();
+        b.iter(|| {
+            let mut kind = KInduction::new(&ts);
+            black_box(kind.check(10))
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = engine;
+    config = Criterion::default().sample_size(10);
+    targets = bench_sat, bench_ic3_prediction, bench_bmc_and_kind
+}
+criterion_main!(engine);

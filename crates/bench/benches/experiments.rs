@@ -1,0 +1,113 @@
+//! One Criterion target per table and figure of the paper's evaluation.
+//!
+//! * `table1/*`  — Table 1, cases solved per configuration,
+//! * `table2/*`  — Table 2, average success rates of the `-pl` configurations,
+//! * `fig2/*`    — Figure 2, solved-within-time-limit curves,
+//! * `fig3/*`    — Figure 3, base vs prediction runtime scatter,
+//! * `fig4/*`    — Figure 4, runtime ratio vs `SR_adv`,
+//! * `ablation/*`— the DESIGN.md ablation variants.
+//!
+//! Each bench measures the work behind the artifact (running the scaled-down
+//! workload and building the report), so `cargo bench` regenerates every
+//! experiment end to end.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use plic3_bench::{bench_runner, bench_suite, scatter_pairs};
+use plic3_harness::{ablation, fig2, fig3, fig4, run_experiment, table1, table2, Configuration};
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    let suite = bench_suite();
+    let runner = bench_runner();
+    c.bench_function("table1/solved_per_configuration", |b| {
+        b.iter(|| {
+            let data = run_experiment(&suite, &Configuration::all(), &runner);
+            let table = table1::build(&data);
+            assert_eq!(table.rows.len(), 6);
+            black_box(table1::render(&table))
+        })
+    });
+}
+
+fn bench_table2(c: &mut Criterion) {
+    let suite = bench_suite();
+    let runner = bench_runner();
+    c.bench_function("table2/success_rates", |b| {
+        b.iter(|| {
+            let data = run_experiment(
+                &suite,
+                &[Configuration::Ric3Pl, Configuration::Ic3refPl],
+                &runner,
+            );
+            let table = table2::build(&data);
+            assert_eq!(table.rows.len(), 2);
+            black_box(table2::render(&table))
+        })
+    });
+}
+
+fn bench_fig2(c: &mut Criterion) {
+    let suite = bench_suite();
+    let runner = bench_runner();
+    c.bench_function("fig2/cactus_curves", |b| {
+        b.iter(|| {
+            let data = run_experiment(&suite, &Configuration::all(), &runner);
+            let fig = fig2::build(&data, &fig2::default_limits(runner.timeout));
+            assert_eq!(fig.series.len(), 6);
+            black_box(fig2::render(&fig))
+        })
+    });
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    let suite = bench_suite();
+    let runner = bench_runner();
+    let configs: Vec<Configuration> = scatter_pairs()
+        .into_iter()
+        .flat_map(|(a, b)| [a, b])
+        .collect();
+    c.bench_function("fig3/runtime_scatter", |b| {
+        b.iter(|| {
+            let data = run_experiment(&suite, &configs, &runner);
+            let fig = fig3::build(&data);
+            assert_eq!(fig.scatters.len(), 2);
+            black_box(fig3::render(&fig))
+        })
+    });
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    let suite = bench_suite();
+    let runner = bench_runner();
+    c.bench_function("fig4/ratio_vs_sr_adv", |b| {
+        b.iter(|| {
+            let data = run_experiment(
+                &suite,
+                &[Configuration::Ric3, Configuration::Ric3Pl],
+                &runner,
+            );
+            let fig = fig4::build(&data, runner.fast_case_threshold);
+            black_box(fig4::render(&fig))
+        })
+    });
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    let suite = bench_suite().filter(|b| matches!(b.family(), "shift" | "gray" | "ring"));
+    let runner = bench_runner();
+    let variants = ablation::default_variants();
+    c.bench_function("ablation/design_knobs", |b| {
+        b.iter(|| {
+            let report = ablation::run(&suite, &variants, &runner);
+            assert_eq!(report.rows.len(), variants.len());
+            black_box(ablation::render(&report))
+        })
+    });
+}
+
+criterion_group! {
+    name = experiments;
+    config = Criterion::default().sample_size(10);
+    targets = bench_table1, bench_table2, bench_fig2, bench_fig3, bench_fig4, bench_ablation
+}
+criterion_main!(experiments);

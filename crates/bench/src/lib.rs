@@ -1,0 +1,62 @@
+//! Shared fixtures for the Criterion benchmark harness.
+//!
+//! The benches in `benches/` regenerate (scaled-down versions of) every table
+//! and figure of *Predicting Lemmas in Generalization of IC3* (DAC 2024); this
+//! small library provides the workload selections they share so the benches and
+//! the tests agree on what gets measured.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use plic3_benchmarks::Suite;
+use plic3_harness::{Configuration, RunnerConfig};
+use std::time::Duration;
+
+/// The per-case budgets used by the benches: tight enough to keep Criterion
+/// iterations fast, generous enough that nothing in the bench workload times
+/// out.
+pub fn bench_runner() -> RunnerConfig {
+    RunnerConfig {
+        timeout: Duration::from_secs(5),
+        max_conflicts: Some(500_000),
+        fast_case_threshold: Duration::ZERO,
+    }
+}
+
+/// The workload used by the table/figure benches: the quick suite (one small
+/// instance per family).
+pub fn bench_suite() -> Suite {
+    Suite::quick()
+}
+
+/// A single mid-sized safe instance on which prediction visibly saves work,
+/// used by the per-engine micro-benchmarks.
+pub fn prediction_showcase() -> plic3_benchmarks::Benchmark {
+    Suite::hwmcc_like()
+        .find("shift_parity_safe_6")
+        .expect("the shift family always contains the parity_6 instance")
+        .clone()
+}
+
+/// The configuration pairs measured by the scatter benches.
+pub fn scatter_pairs() -> [(Configuration, Configuration); 2] {
+    [
+        (Configuration::Ric3, Configuration::Ric3Pl),
+        (Configuration::Ic3ref, Configuration::Ic3refPl),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_are_available() {
+        assert!(!bench_suite().is_empty());
+        assert_eq!(prediction_showcase().family(), "shift");
+        assert!(bench_runner().timeout >= Duration::from_secs(1));
+        for (base, pl) in scatter_pairs() {
+            assert_eq!(pl.base(), Some(base));
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Round-robin arbiters with a mutual-exclusion property.
+
+use super::{Benchmark, ExpectedResult};
+use plic3_aig::{Aig, AigBuilder};
+
+const FAMILY: &str = "arbiter";
+
+/// Builds an `n`-client round-robin arbiter.
+///
+/// A one-hot token rotates among the clients every cycle; client `i` is granted
+/// when it requests while holding the token (plus, in the buggy variant, while
+/// the *previous* client holds it). Bad: two clients are granted in the same
+/// cycle. The correct arbiter is safe; the buggy one is unsafe as soon as two
+/// neighbouring clients request simultaneously.
+fn arbiter(n: usize, buggy: bool) -> Aig {
+    let mut b = AigBuilder::new();
+    let requests = b.inputs(n);
+    let token: Vec<_> = (0..n).map(|i| b.latch(Some(i == 0))).collect();
+    for i in 0..n {
+        b.set_latch_next(token[i], token[(i + n - 1) % n]);
+    }
+    let grants: Vec<_> = (0..n)
+        .map(|i| {
+            let own = b.and(requests[i], token[i]);
+            if buggy {
+                let stolen = b.and(requests[i], token[(i + n - 1) % n]);
+                b.or(own, stolen)
+            } else {
+                own
+            }
+        })
+        .collect();
+    // Bad: some pair of distinct grants is simultaneously high.
+    let mut clashes = Vec::new();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let clash = b.and(grants[i], grants[j]);
+            clashes.push(clash);
+        }
+    }
+    let bad = b.or_many(&clashes);
+    b.add_bad(bad);
+    b.build()
+}
+
+/// The correct (safe) round-robin arbiter.
+pub fn round_robin(n: usize) -> Aig {
+    arbiter(n, false)
+}
+
+/// The buggy (unsafe) arbiter that also grants on the predecessor's token.
+pub fn round_robin_buggy(n: usize) -> Aig {
+    arbiter(n, true)
+}
+
+/// The parameter sweep for the full suite.
+pub fn instances() -> Vec<Benchmark> {
+    let mut out = Vec::new();
+    for n in [3usize, 4, 5, 6, 8, 10, 12, 14] {
+        out.push(Benchmark::new(
+            format!("arbiter_safe_{n}"),
+            FAMILY,
+            ExpectedResult::Safe,
+            round_robin(n),
+        ));
+    }
+    for n in [3usize, 4, 5, 6, 8] {
+        out.push(Benchmark::new(
+            format!("arbiter_buggy_unsafe_{n}"),
+            FAMILY,
+            ExpectedResult::Unsafe { min_depth: Some(0) },
+            round_robin_buggy(n),
+        ));
+    }
+    out
+}
+
+/// Small instances for the quick suite.
+pub fn quick() -> Vec<Benchmark> {
+    vec![
+        Benchmark::new(
+            "arbiter_safe_q4",
+            FAMILY,
+            ExpectedResult::Safe,
+            round_robin(4),
+        ),
+        Benchmark::new(
+            "arbiter_buggy_unsafe_q4",
+            FAMILY,
+            ExpectedResult::Unsafe { min_depth: Some(0) },
+            round_robin_buggy(4),
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plic3_aig::Simulator;
+
+    #[test]
+    fn correct_arbiter_grants_at_most_one() {
+        let aig = round_robin(4);
+        let mut sim = Simulator::new(&aig);
+        // Everyone requests all the time; still no double grant.
+        assert!(!sim.run_reaches_bad(&vec![vec![true; 4]; 16]));
+    }
+
+    #[test]
+    fn buggy_arbiter_double_grants_under_contention() {
+        let aig = round_robin_buggy(4);
+        let mut sim = Simulator::new(&aig);
+        assert!(sim.run_reaches_bad(&vec![vec![true; 4]; 2]));
+        // Without contention (only one requester) the bug stays hidden.
+        let mut sim = Simulator::new(&aig);
+        let only_first: Vec<Vec<bool>> = (0..16).map(|_| vec![true, false, false, false]).collect();
+        assert!(!sim.run_reaches_bad(&only_first));
+    }
+}

@@ -1,0 +1,170 @@
+//! Counter circuits: saturating, wrapping, and input-enabled counters.
+
+use super::{Benchmark, ExpectedResult};
+use plic3_aig::{Aig, AigBuilder};
+
+const FAMILY: &str = "counter";
+
+/// An n-bit counter that increments every cycle until it reaches `sat_at` and
+/// then holds its value. The bad states are `counter == bad_at`.
+///
+/// Reachable counter values are `0..=sat_at`, so the instance is safe iff
+/// `bad_at > sat_at`.
+pub fn saturating_counter(bits: usize, sat_at: u64, bad_at: u64) -> Aig {
+    let mut b = AigBuilder::new();
+    let state = b.latches(bits, Some(false));
+    let at_sat = b.vec_equals_const(&state, sat_at);
+    let inc = b.vec_increment(&state);
+    for (s, n) in state.iter().zip(&inc) {
+        let next = b.ite(at_sat, *s, *n);
+        b.set_latch_next(*s, next);
+    }
+    let bad = b.vec_equals_const(&state, bad_at);
+    b.add_bad(bad);
+    b.add_comment(format!(
+        "saturating counter: {bits} bits, saturates at {sat_at}, bad at {bad_at}"
+    ));
+    b.build()
+}
+
+/// An n-bit counter that counts `0, 1, …, period - 1, 0, …`. The bad states are
+/// `counter == bad_at`, so the instance is safe iff `bad_at >= period`.
+pub fn wrapping_counter(bits: usize, period: u64, bad_at: u64) -> Aig {
+    let mut b = AigBuilder::new();
+    let state = b.latches(bits, Some(false));
+    let at_end = b.vec_equals_const(&state, period - 1);
+    let inc = b.vec_increment(&state);
+    let zero = b.constant_false();
+    for (s, n) in state.iter().zip(&inc) {
+        let next = b.ite(at_end, zero, *n);
+        b.set_latch_next(*s, next);
+    }
+    let bad = b.vec_equals_const(&state, bad_at);
+    b.add_bad(bad);
+    b.build()
+}
+
+/// An n-bit counter with an `enable` input; bad when it reaches `bad_at`
+/// (always reachable by holding `enable` high, so always unsafe).
+pub fn enabled_counter(bits: usize, bad_at: u64) -> Aig {
+    let mut b = AigBuilder::new();
+    let enable = b.input();
+    let state = b.latches(bits, Some(false));
+    let inc = b.vec_increment(&state);
+    for (s, n) in state.iter().zip(&inc) {
+        let next = b.ite(enable, *n, *s);
+        b.set_latch_next(*s, next);
+    }
+    let bad = b.vec_equals_const(&state, bad_at);
+    b.add_bad(bad);
+    b.build()
+}
+
+/// The parameter sweep for the full suite.
+pub fn instances() -> Vec<Benchmark> {
+    let mut out = Vec::new();
+    // Safe saturating counters: the bad value lies above the saturation point.
+    for bits in [4usize, 5, 6, 7, 8, 10, 12] {
+        let max = (1u64 << bits) - 1;
+        out.push(Benchmark::new(
+            format!("counter_sat_safe_{bits}"),
+            FAMILY,
+            ExpectedResult::Safe,
+            saturating_counter(bits, max - 2, max),
+        ));
+    }
+    // Unsafe saturating counters: the bad value is below the saturation point.
+    for (bits, bad_at) in [(4usize, 6u64), (5, 8), (6, 10), (7, 12)] {
+        let max = (1u64 << bits) - 1;
+        out.push(Benchmark::new(
+            format!("counter_sat_unsafe_{bits}"),
+            FAMILY,
+            ExpectedResult::Unsafe {
+                min_depth: Some(bad_at as usize),
+            },
+            saturating_counter(bits, max - 1, bad_at),
+        ));
+    }
+    // Safe wrapping counters: the counter wraps before reaching the bad value.
+    for bits in [4usize, 5, 6, 7] {
+        let period = (1u64 << bits) - 3;
+        out.push(Benchmark::new(
+            format!("counter_wrap_safe_{bits}"),
+            FAMILY,
+            ExpectedResult::Safe,
+            wrapping_counter(bits, period, period + 1),
+        ));
+    }
+    // Unsafe enabled counters with a controllable counterexample depth.
+    for (bits, bad_at) in [(4usize, 5u64), (5, 7), (6, 9), (7, 11)] {
+        out.push(Benchmark::new(
+            format!("counter_enabled_unsafe_{bits}"),
+            FAMILY,
+            ExpectedResult::Unsafe {
+                min_depth: Some(bad_at as usize),
+            },
+            enabled_counter(bits, bad_at),
+        ));
+    }
+    out
+}
+
+/// A pair of small instances for the quick suite.
+pub fn quick() -> Vec<Benchmark> {
+    vec![
+        Benchmark::new(
+            "counter_sat_safe_q4",
+            FAMILY,
+            ExpectedResult::Safe,
+            saturating_counter(4, 12, 15),
+        ),
+        Benchmark::new(
+            "counter_enabled_unsafe_q4",
+            FAMILY,
+            ExpectedResult::Unsafe { min_depth: Some(5) },
+            enabled_counter(4, 5),
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plic3_aig::Simulator;
+
+    #[test]
+    fn saturating_counter_saturates() {
+        let aig = saturating_counter(3, 5, 7);
+        let mut sim = Simulator::new(&aig);
+        for _ in 0..10 {
+            assert!(!sim.step(&[]).any_bad());
+        }
+        // After saturation the state stays at 5 = 101.
+        assert_eq!(sim.latch_values(), &[true, false, true]);
+    }
+
+    #[test]
+    fn wrapping_counter_wraps() {
+        let aig = wrapping_counter(3, 5, 6);
+        let mut sim = Simulator::new(&aig);
+        for _ in 0..12 {
+            assert!(!sim.step(&[]).any_bad());
+        }
+        let aig_bad = wrapping_counter(3, 5, 3);
+        let mut sim = Simulator::new(&aig_bad);
+        let mut reached = false;
+        for _ in 0..12 {
+            reached |= sim.step(&[]).any_bad();
+        }
+        assert!(reached);
+    }
+
+    #[test]
+    fn enabled_counter_reaches_bad_exactly_when_enabled() {
+        let aig = enabled_counter(4, 4);
+        let mut sim = Simulator::new(&aig);
+        assert!(!sim.run_reaches_bad(&vec![vec![false]; 10]));
+        let mut sim = Simulator::new(&aig);
+        assert!(sim.run_reaches_bad(&vec![vec![true]; 5]));
+    }
+}

@@ -1,0 +1,134 @@
+//! FIFO occupancy counters.
+
+use super::{vec_decrement, Benchmark, ExpectedResult};
+use plic3_aig::{Aig, AigBuilder};
+
+const FAMILY: &str = "fifo";
+
+/// An occupancy counter for a FIFO of capacity `capacity` (which must fit in
+/// `bits` bits together with `capacity + 1`).
+///
+/// `push` and `pop` inputs move the occupancy up and down. In the guarded
+/// (correct) version a push is ignored when the FIFO is full and a pop when it
+/// is empty, so the occupancy never exceeds the capacity and the instance is
+/// safe. The unguarded version accepts pushes when full and overflows, making
+/// the bad states (`occupancy == capacity + 1`) reachable in `capacity + 1`
+/// steps.
+fn fifo(bits: usize, capacity: u64, guarded: bool) -> Aig {
+    assert!(capacity + 1 < (1 << bits));
+    let mut b = AigBuilder::new();
+    let push = b.input();
+    let pop = b.input();
+    let count = b.latches(bits, Some(false));
+    let full = b.vec_equals_const(&count, capacity);
+    let empty = b.vec_equals_const(&count, 0);
+    let push_ok = if guarded {
+        b.and(push, !full)
+    } else {
+        push
+    };
+    let pop_ok = b.and(pop, !empty);
+    let up = b.and(push_ok, !pop_ok);
+    let down = b.and(pop_ok, !push_ok);
+    let incremented = b.vec_increment(&count);
+    let decremented = vec_decrement(&mut b, &count);
+    for i in 0..bits {
+        let with_up = b.ite(up, incremented[i], count[i]);
+        let next = b.ite(down, decremented[i], with_up);
+        b.set_latch_next(count[i], next);
+    }
+    let bad = b.vec_equals_const(&count, capacity + 1);
+    b.add_bad(bad);
+    b.build()
+}
+
+/// The guarded (safe) FIFO occupancy counter.
+pub fn fifo_guarded(bits: usize, capacity: u64) -> Aig {
+    fifo(bits, capacity, true)
+}
+
+/// The unguarded (unsafe) FIFO occupancy counter.
+pub fn fifo_unguarded(bits: usize, capacity: u64) -> Aig {
+    fifo(bits, capacity, false)
+}
+
+/// The parameter sweep for the full suite.
+pub fn instances() -> Vec<Benchmark> {
+    let mut out = Vec::new();
+    for (bits, capacity) in [(3usize, 5u64), (4, 9), (4, 12), (5, 20), (5, 27), (6, 45), (6, 58)] {
+        out.push(Benchmark::new(
+            format!("fifo_guarded_safe_{bits}_{capacity}"),
+            FAMILY,
+            ExpectedResult::Safe,
+            fifo_guarded(bits, capacity),
+        ));
+    }
+    for (bits, capacity) in [(3usize, 4u64), (4, 6), (4, 8), (5, 10)] {
+        out.push(Benchmark::new(
+            format!("fifo_unguarded_unsafe_{bits}_{capacity}"),
+            FAMILY,
+            ExpectedResult::Unsafe {
+                min_depth: Some(capacity as usize + 1),
+            },
+            fifo_unguarded(bits, capacity),
+        ));
+    }
+    out
+}
+
+/// Small instances for the quick suite.
+pub fn quick() -> Vec<Benchmark> {
+    vec![
+        Benchmark::new(
+            "fifo_guarded_safe_q",
+            FAMILY,
+            ExpectedResult::Safe,
+            fifo_guarded(3, 5),
+        ),
+        Benchmark::new(
+            "fifo_unguarded_unsafe_q",
+            FAMILY,
+            ExpectedResult::Unsafe { min_depth: Some(5) },
+            fifo_unguarded(3, 4),
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plic3_aig::Simulator;
+
+    #[test]
+    fn guarded_fifo_saturates_at_capacity() {
+        let aig = fifo_guarded(3, 5);
+        let mut sim = Simulator::new(&aig);
+        // Push forever; occupancy must stick at 5 and never hit 6.
+        assert!(!sim.run_reaches_bad(&vec![vec![true, false]; 20]));
+    }
+
+    #[test]
+    fn unguarded_fifo_overflows() {
+        let aig = fifo_unguarded(3, 4);
+        let mut sim = Simulator::new(&aig);
+        // The overflow state (count = 5) is reached after 5 pushes and observed
+        // on the following simulation step.
+        assert!(sim.run_reaches_bad(&vec![vec![true, false]; 6]));
+    }
+
+    #[test]
+    fn popping_an_empty_fifo_is_harmless() {
+        let aig = fifo_guarded(3, 5);
+        let mut sim = Simulator::new(&aig);
+        assert!(!sim.run_reaches_bad(&vec![vec![false, true]; 10]));
+        assert_eq!(sim.latch_values(), &[false, false, false]);
+    }
+
+    #[test]
+    fn mixed_traffic_keeps_guarded_fifo_safe() {
+        let aig = fifo_guarded(4, 9);
+        let mut sim = Simulator::new(&aig);
+        let frames: Vec<Vec<bool>> = (0..60).map(|i| vec![i % 3 != 0, i % 5 == 0]).collect();
+        assert!(!sim.run_reaches_bad(&frames));
+    }
+}

@@ -1,0 +1,123 @@
+//! Gray-code counters checked against a binary shadow counter.
+
+use super::{Benchmark, ExpectedResult};
+use plic3_aig::{Aig, AigBuilder, AigLit};
+
+const FAMILY: &str = "gray";
+
+/// Builds a circuit with a free-running binary counter and a register that is
+/// supposed to hold the Gray encoding of the *same* count.
+///
+/// The Gray register is updated each cycle from the incremented binary value
+/// (`gray = bin' ^ (bin' >> 1)`). Bad: the Gray register differs from the Gray
+/// encoding of the binary counter. The correct version is safe; the buggy
+/// version freezes the Gray register for one cycle when a `glitch` input is
+/// pressed, making the mismatch reachable in one step.
+fn gray_checker(bits: usize, buggy: bool) -> Aig {
+    let mut b = AigBuilder::new();
+    let glitch = b.input();
+    let bin = b.latches(bits, Some(false));
+    let gray = b.latches(bits, Some(false));
+    let bin_next = b.vec_increment(&bin);
+    for (s, n) in bin.iter().zip(&bin_next) {
+        b.set_latch_next(*s, *n);
+    }
+    // Gray encoding of the *next* binary value.
+    let gray_of_next: Vec<AigLit> = (0..bits)
+        .map(|i| {
+            if i + 1 < bits {
+                b.xor(bin_next[i], bin_next[i + 1])
+            } else {
+                bin_next[i]
+            }
+        })
+        .collect();
+    for i in 0..bits {
+        let next = if buggy {
+            b.ite(glitch, gray[i], gray_of_next[i])
+        } else {
+            gray_of_next[i]
+        };
+        b.set_latch_next(gray[i], next);
+    }
+    // Bad: gray register != gray(bin).
+    let gray_of_bin: Vec<AigLit> = (0..bits)
+        .map(|i| {
+            if i + 1 < bits {
+                b.xor(bin[i], bin[i + 1])
+            } else {
+                bin[i]
+            }
+        })
+        .collect();
+    let equal = b.vec_equals(&gray, &gray_of_bin);
+    b.add_bad(!equal);
+    b.build()
+}
+
+/// The correct (safe) Gray-code checker.
+pub fn gray_safe(bits: usize) -> Aig {
+    gray_checker(bits, false)
+}
+
+/// The glitchy (unsafe) Gray-code checker.
+pub fn gray_buggy(bits: usize) -> Aig {
+    gray_checker(bits, true)
+}
+
+/// The parameter sweep for the full suite.
+pub fn instances() -> Vec<Benchmark> {
+    let mut out = Vec::new();
+    for bits in [3usize, 4, 5, 6, 7, 8] {
+        out.push(Benchmark::new(
+            format!("gray_safe_{bits}"),
+            FAMILY,
+            ExpectedResult::Safe,
+            gray_safe(bits),
+        ));
+    }
+    for bits in [3usize, 4, 5] {
+        out.push(Benchmark::new(
+            format!("gray_buggy_unsafe_{bits}"),
+            FAMILY,
+            ExpectedResult::Unsafe { min_depth: None },
+            gray_buggy(bits),
+        ));
+    }
+    out
+}
+
+/// Small instances for the quick suite.
+pub fn quick() -> Vec<Benchmark> {
+    vec![
+        Benchmark::new("gray_safe_q3", FAMILY, ExpectedResult::Safe, gray_safe(3)),
+        Benchmark::new(
+            "gray_buggy_unsafe_q3",
+            FAMILY,
+            ExpectedResult::Unsafe { min_depth: None },
+            gray_buggy(3),
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plic3_aig::Simulator;
+
+    #[test]
+    fn correct_checker_never_flags() {
+        let aig = gray_safe(4);
+        let mut sim = Simulator::new(&aig);
+        assert!(!sim.run_reaches_bad(&vec![vec![true]; 40]));
+    }
+
+    #[test]
+    fn glitch_creates_a_mismatch() {
+        let aig = gray_buggy(4);
+        let mut sim = Simulator::new(&aig);
+        assert!(sim.run_reaches_bad(&vec![vec![true]; 4]));
+        let mut sim = Simulator::new(&aig);
+        assert!(!sim.run_reaches_bad(&vec![vec![false]; 40]));
+    }
+}

@@ -1,0 +1,40 @@
+//! The benchmark circuit families.
+//!
+//! Each module provides:
+//!
+//! * one or more circuit generators returning a [`plic3_aig::Aig`],
+//! * `instances()` — the parameter sweep contributing to
+//!   [`crate::Suite::hwmcc_like`],
+//! * `quick()` — one or two small instances for [`crate::Suite::quick`].
+//!
+//! The families are chosen to mirror the behaviours found in the HWMCC sets:
+//! arithmetic state (counters, FIFOs), shift/rotate pipelines (shift registers,
+//! token rings), control logic (arbiters, traffic controllers, combination
+//! locks), and relational invariants between redundant encodings (gray-code
+//! against binary), with both safe and unsafe variants of each.
+
+pub mod arbiter;
+pub mod counters;
+pub mod fifo;
+pub mod gray;
+pub mod lock;
+pub mod random;
+pub mod rings;
+pub mod shift;
+pub mod traffic;
+
+pub(crate) use crate::{Benchmark, ExpectedResult};
+
+/// Helper shared by the family modules: a little-endian decrementer.
+pub(crate) fn vec_decrement(
+    builder: &mut plic3_aig::AigBuilder,
+    bits: &[plic3_aig::AigLit],
+) -> Vec<plic3_aig::AigLit> {
+    let mut borrow = builder.constant_true();
+    let mut out = Vec::with_capacity(bits.len());
+    for &bit in bits {
+        out.push(builder.xor(bit, borrow));
+        borrow = builder.and(!bit, borrow);
+    }
+    out
+}

@@ -1,0 +1,153 @@
+//! Token rings: one-hot rotation networks.
+
+use super::{Benchmark, ExpectedResult};
+use plic3_aig::{Aig, AigBuilder};
+
+const FAMILY: &str = "ring";
+
+/// An `n`-cell ring around which a single token rotates. Bad: two adjacent
+/// cells hold the token simultaneously. Safe from the one-hot initial state.
+pub fn token_ring(n: usize) -> Aig {
+    let mut b = AigBuilder::new();
+    let cells: Vec<_> = (0..n).map(|i| b.latch(Some(i == 0))).collect();
+    for i in 0..n {
+        b.set_latch_next(cells[i], cells[(i + n - 1) % n]);
+    }
+    let mut clashes = Vec::new();
+    for i in 0..n {
+        let clash = b.and(cells[i], cells[(i + 1) % n]);
+        clashes.push(clash);
+    }
+    let bad = b.or_many(&clashes);
+    b.add_bad(bad);
+    b.build()
+}
+
+/// A token ring with an `inject` input that forces cell 0 to 1 in the next
+/// cycle. Bad: two adjacent cells hold a token. Unsafe (inject while the
+/// original token sits in cell 1, reachable within a couple of steps).
+pub fn token_ring_inject(n: usize) -> Aig {
+    let mut b = AigBuilder::new();
+    let inject = b.input();
+    let cells: Vec<_> = (0..n).map(|i| b.latch(Some(i == 0))).collect();
+    for i in 0..n {
+        let rotated = cells[(i + n - 1) % n];
+        let next = if i == 0 { b.or(rotated, inject) } else { rotated };
+        b.set_latch_next(cells[i], next);
+    }
+    let mut clashes = Vec::new();
+    for i in 0..n {
+        let clash = b.and(cells[i], cells[(i + 1) % n]);
+        clashes.push(clash);
+    }
+    let bad = b.or_many(&clashes);
+    b.add_bad(bad);
+    b.build()
+}
+
+/// Two independent `n`-cell rings whose tokens start `offset` cells apart.
+/// Bad: both tokens occupy position 0 at the same time — impossible whenever
+/// `offset != 0`, since the rings rotate in lockstep.
+pub fn two_rings(n: usize, offset: usize) -> Aig {
+    assert!(offset < n);
+    let mut b = AigBuilder::new();
+    let ring_a: Vec<_> = (0..n).map(|i| b.latch(Some(i == 0))).collect();
+    let ring_b: Vec<_> = (0..n).map(|i| b.latch(Some(i == offset))).collect();
+    for i in 0..n {
+        b.set_latch_next(ring_a[i], ring_a[(i + n - 1) % n]);
+        b.set_latch_next(ring_b[i], ring_b[(i + n - 1) % n]);
+    }
+    let bad = b.and(ring_a[0], ring_b[0]);
+    b.add_bad(bad);
+    b.build()
+}
+
+/// The parameter sweep for the full suite.
+pub fn instances() -> Vec<Benchmark> {
+    let mut out = Vec::new();
+    for n in [4usize, 6, 8, 10, 12, 16, 20] {
+        out.push(Benchmark::new(
+            format!("ring_token_safe_{n}"),
+            FAMILY,
+            ExpectedResult::Safe,
+            token_ring(n),
+        ));
+    }
+    for n in [4usize, 6, 8, 10] {
+        out.push(Benchmark::new(
+            format!("ring_inject_unsafe_{n}"),
+            FAMILY,
+            ExpectedResult::Unsafe { min_depth: None },
+            token_ring_inject(n),
+        ));
+    }
+    for (n, offset) in [(5usize, 2usize), (7, 3), (9, 4), (11, 5), (13, 6)] {
+        out.push(Benchmark::new(
+            format!("ring_pair_safe_{n}_{offset}"),
+            FAMILY,
+            ExpectedResult::Safe,
+            two_rings(n, offset),
+        ));
+    }
+    for n in [5usize, 7] {
+        out.push(Benchmark::new(
+            format!("ring_pair_unsafe_{n}"),
+            FAMILY,
+            ExpectedResult::Unsafe { min_depth: Some(0) },
+            two_rings(n, 0),
+        ));
+    }
+    out
+}
+
+/// Small instances for the quick suite.
+pub fn quick() -> Vec<Benchmark> {
+    vec![
+        Benchmark::new(
+            "ring_token_safe_q5",
+            FAMILY,
+            ExpectedResult::Safe,
+            token_ring(5),
+        ),
+        Benchmark::new(
+            "ring_inject_unsafe_q5",
+            FAMILY,
+            ExpectedResult::Unsafe { min_depth: None },
+            token_ring_inject(5),
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plic3_aig::Simulator;
+
+    #[test]
+    fn clean_ring_never_clashes() {
+        let aig = token_ring(6);
+        let mut sim = Simulator::new(&aig);
+        assert!(!sim.run_reaches_bad(&vec![vec![]; 30]));
+    }
+
+    #[test]
+    fn injection_creates_a_clash() {
+        let aig = token_ring_inject(5);
+        let mut sim = Simulator::new(&aig);
+        // Keep injecting: the injected token and the rotating one collide.
+        assert!(sim.run_reaches_bad(&vec![vec![true]; 6]));
+        // Without injection it stays safe.
+        let mut sim = Simulator::new(&aig);
+        assert!(!sim.run_reaches_bad(&vec![vec![false]; 20]));
+    }
+
+    #[test]
+    fn offset_rings_never_meet_and_aligned_rings_meet_at_once() {
+        let safe = two_rings(6, 3);
+        let mut sim = Simulator::new(&safe);
+        assert!(!sim.run_reaches_bad(&vec![vec![]; 24]));
+        let unsafe_ = two_rings(6, 0);
+        let mut sim = Simulator::new(&unsafe_);
+        assert!(sim.run_reaches_bad(&vec![vec![]; 1]));
+    }
+}

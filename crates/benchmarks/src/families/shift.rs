@@ -1,0 +1,145 @@
+//! Shift-register pipelines.
+
+use super::{Benchmark, ExpectedResult};
+use plic3_aig::{Aig, AigBuilder};
+
+const FAMILY: &str = "shift";
+
+/// An `n`-cell shift register whose head is tied to constant 0 and whose cells
+/// reset to 0. Bad: the last cell is 1. Safe (no 1 can ever enter).
+pub fn zero_shift_register(n: usize) -> Aig {
+    let mut b = AigBuilder::new();
+    let cells = b.latches(n, Some(false));
+    let zero = b.constant_false();
+    for i in 0..n {
+        let prev = if i == 0 { zero } else { cells[i - 1] };
+        b.set_latch_next(cells[i], prev);
+    }
+    b.add_bad(cells[n - 1]);
+    b.build()
+}
+
+/// An `n`-cell shift register fed by a primary input. Bad: the last cell is 1.
+/// Unsafe with a shortest counterexample of exactly `n` steps.
+pub fn input_shift_register(n: usize) -> Aig {
+    let mut b = AigBuilder::new();
+    let head = b.input();
+    let cells = b.latches(n, Some(false));
+    for i in 0..n {
+        let prev = if i == 0 { head } else { cells[i - 1] };
+        b.set_latch_next(cells[i], prev);
+    }
+    b.add_bad(cells[n - 1]);
+    b.build()
+}
+
+/// An `n`-cell shift register fed by an input, with a parity latch that is
+/// updated every cycle to the parity of the register's *next* contents. Bad:
+/// the parity latch disagrees with the parity of the register — which can never
+/// happen, so the instance is safe, but proving it needs relational lemmas
+/// between the parity latch and the cells (the largest sizes are the hardest
+/// safe instances of the suite).
+pub fn parity_shift_register(n: usize) -> Aig {
+    let mut b = AigBuilder::new();
+    let head = b.input();
+    let cells = b.latches(n, Some(false));
+    for i in 0..n {
+        let prev = if i == 0 { head } else { cells[i - 1] };
+        b.set_latch_next(cells[i], prev);
+    }
+    // parity of the cells, updated to track the next contents.
+    let parity = b.latch(Some(false));
+    let mut next_parity = head;
+    for &c in &cells[..n - 1] {
+        next_parity = b.xor(next_parity, c);
+    }
+    b.set_latch_next(parity, next_parity);
+    let mut cell_parity = b.constant_false();
+    for &c in &cells {
+        cell_parity = b.xor(cell_parity, c);
+    }
+    let mismatch = b.xor(parity, cell_parity);
+    b.add_bad(mismatch);
+    b.build()
+}
+
+/// The parameter sweep for the full suite.
+pub fn instances() -> Vec<Benchmark> {
+    let mut out = Vec::new();
+    for n in [6usize, 8, 10, 12, 14, 16, 20, 24] {
+        out.push(Benchmark::new(
+            format!("shift_zero_safe_{n}"),
+            FAMILY,
+            ExpectedResult::Safe,
+            zero_shift_register(n),
+        ));
+    }
+    for n in [4usize, 6, 8, 10] {
+        out.push(Benchmark::new(
+            format!("shift_input_unsafe_{n}"),
+            FAMILY,
+            ExpectedResult::Unsafe { min_depth: Some(n) },
+            input_shift_register(n),
+        ));
+    }
+    for n in [4usize, 6, 8, 10, 12] {
+        out.push(Benchmark::new(
+            format!("shift_parity_safe_{n}"),
+            FAMILY,
+            ExpectedResult::Safe,
+            parity_shift_register(n),
+        ));
+    }
+    out
+}
+
+/// Small instances for the quick suite.
+pub fn quick() -> Vec<Benchmark> {
+    vec![
+        Benchmark::new(
+            "shift_zero_safe_q5",
+            FAMILY,
+            ExpectedResult::Safe,
+            zero_shift_register(5),
+        ),
+        Benchmark::new(
+            "shift_input_unsafe_q4",
+            FAMILY,
+            ExpectedResult::Unsafe { min_depth: Some(4) },
+            input_shift_register(4),
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plic3_aig::Simulator;
+
+    #[test]
+    fn zero_register_never_raises_bad() {
+        let aig = zero_shift_register(5);
+        let mut sim = Simulator::new(&aig);
+        assert!(!sim.run_reaches_bad(&vec![vec![]; 20]));
+    }
+
+    #[test]
+    fn input_register_needs_exactly_n_steps() {
+        // The bad state is *reached* after n transitions and *observed* by the
+        // simulator one step later.
+        let aig = input_shift_register(4);
+        let mut sim = Simulator::new(&aig);
+        assert!(!sim.run_reaches_bad(&vec![vec![true]; 4]));
+        let mut sim = Simulator::new(&aig);
+        assert!(sim.run_reaches_bad(&vec![vec![true]; 5]));
+    }
+
+    #[test]
+    fn parity_register_tracks_parity() {
+        let aig = parity_shift_register(5);
+        let mut sim = Simulator::new(&aig);
+        // Drive a pseudo-random bit pattern; the mismatch must never appear.
+        let frames: Vec<Vec<bool>> = (0..30).map(|i| vec![(i * 7 + 3) % 5 < 2]).collect();
+        assert!(!sim.run_reaches_bad(&frames));
+    }
+}

@@ -1,0 +1,119 @@
+//! Traffic-light controllers.
+
+use super::{Benchmark, ExpectedResult};
+use plic3_aig::{Aig, AigBuilder};
+
+const FAMILY: &str = "traffic";
+
+/// A crossing controller cycling through `2 * phase_len` phases with an n-bit
+/// phase counter: the north–south direction is green during the first
+/// `green_len` phases of the first half, east–west during the first
+/// `green_len` phases of the second half.
+///
+/// Bad: both directions are green simultaneously. The correct controller
+/// (`green_len <= phase_len`) is safe. The buggy variant stretches the
+/// east–west green into the first half when a `pedestrian` input is pressed,
+/// which overlaps with north–south green and is therefore unsafe.
+fn crossing(bits: usize, green_len: u64, buggy: bool) -> Aig {
+    let period = 1u64 << bits; // full cycle length
+    let half = period / 2;
+    let mut b = AigBuilder::new();
+    let pedestrian = b.input();
+    let phase = b.latches(bits, Some(false));
+    let inc = b.vec_increment(&phase);
+    for (s, n) in phase.iter().zip(&inc) {
+        b.set_latch_next(*s, *n);
+    }
+    // "phase < k" comparators built as a disjunction of exact values — fine for
+    // the small bit-widths used here.
+    let lt = |b: &mut AigBuilder, lo: u64, hi: u64| {
+        let terms: Vec<_> = (lo..hi).map(|v| b.vec_equals_const(&phase, v)).collect();
+        b.or_many(&terms)
+    };
+    let ns_green = lt(&mut b, 0, green_len);
+    let ew_green_normal = lt(&mut b, half, half + green_len);
+    let ew_green = if buggy {
+        let early = lt(&mut b, 0, 1);
+        let pressed = b.and(early, pedestrian);
+        b.or(ew_green_normal, pressed)
+    } else {
+        ew_green_normal
+    };
+    let bad = b.and(ns_green, ew_green);
+    b.add_bad(bad);
+    b.build()
+}
+
+/// The correct (safe) crossing controller.
+pub fn crossing_safe(bits: usize, green_len: u64) -> Aig {
+    crossing(bits, green_len, false)
+}
+
+/// The buggy (unsafe) crossing controller.
+pub fn crossing_buggy(bits: usize, green_len: u64) -> Aig {
+    crossing(bits, green_len, true)
+}
+
+/// The parameter sweep for the full suite.
+pub fn instances() -> Vec<Benchmark> {
+    let mut out = Vec::new();
+    for bits in [3usize, 4, 5, 6] {
+        let green = (1u64 << bits) / 4;
+        out.push(Benchmark::new(
+            format!("traffic_safe_{bits}"),
+            FAMILY,
+            ExpectedResult::Safe,
+            crossing_safe(bits, green.max(1)),
+        ));
+    }
+    for bits in [3usize, 4, 5] {
+        let green = (1u64 << bits) / 4;
+        out.push(Benchmark::new(
+            format!("traffic_buggy_unsafe_{bits}"),
+            FAMILY,
+            ExpectedResult::Unsafe { min_depth: Some(0) },
+            crossing_buggy(bits, green.max(1)),
+        ));
+    }
+    out
+}
+
+/// Small instances for the quick suite.
+pub fn quick() -> Vec<Benchmark> {
+    vec![
+        Benchmark::new(
+            "traffic_safe_q4",
+            FAMILY,
+            ExpectedResult::Safe,
+            crossing_safe(4, 4),
+        ),
+        Benchmark::new(
+            "traffic_buggy_unsafe_q4",
+            FAMILY,
+            ExpectedResult::Unsafe { min_depth: Some(0) },
+            crossing_buggy(4, 4),
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plic3_aig::Simulator;
+
+    #[test]
+    fn safe_controller_never_overlaps() {
+        let aig = crossing_safe(4, 4);
+        let mut sim = Simulator::new(&aig);
+        assert!(!sim.run_reaches_bad(&vec![vec![true]; 40]));
+    }
+
+    #[test]
+    fn buggy_controller_overlaps_when_pedestrian_presses() {
+        let aig = crossing_buggy(4, 4);
+        let mut sim = Simulator::new(&aig);
+        assert!(sim.run_reaches_bad(&vec![vec![true]; 1]));
+        let mut sim = Simulator::new(&aig);
+        assert!(!sim.run_reaches_bad(&vec![vec![false]; 40]));
+    }
+}

@@ -1,0 +1,31 @@
+//! Synthetic HWMCC-style benchmark circuits with known safe/unsafe status.
+//!
+//! The evaluation of *Predicting Lemmas in Generalization of IC3* (DAC 2024)
+//! uses the HWMCC'15 and HWMCC'17 AIGER sets (730 circuits). Those files are
+//! not redistributable here, so this crate provides the stand-in workload: a
+//! collection of parameterized circuit families, generated through
+//! [`plic3_aig::AigBuilder`] and fed to the model checkers through exactly the
+//! same AIG → transition-system pipeline a file from disk would take.
+//!
+//! Every [`Benchmark`] carries its ground-truth verdict so that the harness and
+//! the integration tests can detect wrong answers, and (for unsafe instances)
+//! the depth of the shortest counterexample when it is known by construction.
+//!
+//! # Example
+//!
+//! ```
+//! use plic3_benchmarks::Suite;
+//! let suite = Suite::quick();
+//! assert!(suite.len() > 5);
+//! for bench in suite.iter() {
+//!     assert!(bench.aig().validate().is_ok());
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod families;
+mod suite;
+
+pub use suite::{Benchmark, ExpectedResult, Suite};

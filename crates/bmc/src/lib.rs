@@ -1,0 +1,37 @@
+//! Bounded model checking and k-induction over PLIC3 transition systems.
+//!
+//! These engines serve three purposes in the reproduction of *Predicting
+//! Lemmas in Generalization of IC3* (DAC 2024):
+//!
+//! * they are the classical baselines IC3 is compared against in the
+//!   introduction of the paper (BMC finds bugs fast but is incomplete;
+//!   k-induction proves only inductive-ish properties),
+//! * they cross-check the IC3 verdicts in the integration tests (an `Unsafe`
+//!   answer must be confirmed by BMC at the trace depth; a `Safe` answer must
+//!   not be refuted by BMC up to a reasonable bound),
+//! * the benchmark suite uses BMC to calibrate the depth of unsafe instances.
+//!
+//! # Example
+//!
+//! ```
+//! use plic3_aig::AigBuilder;
+//! use plic3_bmc::{Bmc, BmcResult};
+//! use plic3_ts::TransitionSystem;
+//!
+//! let mut b = AigBuilder::new();
+//! let s = b.latch(Some(false));
+//! b.set_latch_next(s, !s);
+//! b.add_bad(s);
+//! let ts = TransitionSystem::from_aig(&b.build());
+//! let mut bmc = Bmc::new(&ts);
+//! assert!(matches!(bmc.check(10), BmcResult::Unsafe { depth: 1, .. }));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bmc;
+mod kind;
+
+pub use bmc::{Bmc, BmcResult};
+pub use kind::{KInduction, KInductionResult};

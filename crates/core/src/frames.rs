@@ -1,0 +1,218 @@
+//! The frame sequence `F_1, …, F_k` in delta encoding.
+
+use plic3_logic::Cube;
+
+/// The IC3 frame sequence, stored in *delta encoding*: each blocked cube is
+/// kept once, at the highest level its lemma currently holds at. The clause set
+/// of frame `F_i` is therefore the union of the delta frames at levels `≥ i`
+/// (lemmas are monotone: `F_{i+1} ⊆ F_i`).
+///
+/// Lemmas are represented by the blocked [`Cube`] (the lemma itself is the
+/// negation of the cube). Subsumption is maintained on insertion: a new, more
+/// general lemma removes the less general ones it covers at levels it reaches.
+#[derive(Clone, Debug, Default)]
+pub struct Frames {
+    /// `delta[i]` holds the cubes whose lemma's highest level is exactly `i`.
+    /// Index 0 exists for convenience but is never used (`F_0 = I`).
+    delta: Vec<Vec<Cube>>,
+}
+
+impl Frames {
+    /// Creates the initial frame sequence with `F_1` as the top frame.
+    pub fn new() -> Self {
+        Frames {
+            delta: vec![Vec::new(), Vec::new()],
+        }
+    }
+
+    /// The current top level `k`.
+    pub fn top_level(&self) -> usize {
+        self.delta.len() - 1
+    }
+
+    /// Adds a new, empty top frame and returns its level.
+    pub fn push_frame(&mut self) -> usize {
+        self.delta.push(Vec::new());
+        self.top_level()
+    }
+
+    /// The cubes stored at exactly `level` (i.e. `F_level \ F_{level+1}`).
+    pub fn delta(&self, level: usize) -> &[Cube] {
+        &self.delta[level]
+    }
+
+    /// Iterates over all cubes belonging to `F_level` (levels `≥ level`).
+    pub fn cubes_at_or_above(&self, level: usize) -> impl Iterator<Item = &Cube> {
+        self.delta[level.min(self.delta.len())..]
+            .iter()
+            .flat_map(|v| v.iter())
+    }
+
+    /// Total number of stored lemmas.
+    pub fn total_lemmas(&self) -> usize {
+        self.delta.iter().map(Vec::len).sum()
+    }
+
+    /// Returns `true` if a stored lemma at level `≥ level` already subsumes the
+    /// lemma `¬cube` (i.e. a stored cube is a subset of `cube`).
+    pub fn subsumed(&self, cube: &Cube, level: usize) -> bool {
+        self.cubes_at_or_above(level).any(|c| c.subsumes(cube))
+    }
+
+    /// Adds the blocked `cube` at `level`, removing lemmas it subsumes at levels
+    /// `1..=level`. Returns `false` (and stores nothing) if an existing lemma at
+    /// level `≥ level` already subsumes it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is 0 or exceeds the top level.
+    pub fn add(&mut self, cube: Cube, level: usize) -> bool {
+        assert!(
+            level >= 1 && level <= self.top_level(),
+            "lemma level out of range"
+        );
+        if self.subsumed(&cube, level) {
+            return false;
+        }
+        for l in 1..=level {
+            self.delta[l].retain(|existing| !cube.subsumes(existing));
+        }
+        self.delta[level].push(cube);
+        true
+    }
+
+    /// Moves `cube` from `level` to `level + 1` (used by propagation). Returns
+    /// `true` if the cube was found and promoted.
+    pub fn promote(&mut self, cube: &Cube, level: usize) -> bool {
+        if let Some(pos) = self.delta[level].iter().position(|c| c == cube) {
+            let cube = self.delta[level].remove(pos);
+            // Promotion cannot make the lemma newly-subsumed at the higher level
+            // unless an equal or more general lemma already lives there; keep the
+            // stronger one.
+            if !self.subsumed(&cube, level + 1) {
+                self.delta[level + 1].push(cube);
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The parent lemmas of the clause `¬cube` at `level`, per Algorithm 2 of
+    /// the paper: the cubes stored at exactly `level` whose literal set is a
+    /// subset of `cube`'s (equivalently, lemmas `p` with `p ⇒ ¬cube`).
+    pub fn parents_of(&self, cube: &Cube, level: usize) -> Vec<Cube> {
+        if level == 0 || level >= self.delta.len() {
+            return Vec::new();
+        }
+        self.delta[level]
+            .iter()
+            .filter(|p| p.subsumes(cube))
+            .cloned()
+            .collect()
+    }
+
+    /// Returns `true` if the delta frame at `level` is empty, i.e.
+    /// `F_level = F_{level+1}` and an inductive invariant has been reached.
+    pub fn is_fixpoint_at(&self, level: usize) -> bool {
+        self.delta[level].is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plic3_logic::{Lit, Var};
+
+    fn cube(lits: &[(u32, bool)]) -> Cube {
+        Cube::from_lits(lits.iter().map(|&(v, p)| Lit::new(Var::new(v), p)))
+    }
+
+    #[test]
+    fn new_has_one_usable_frame() {
+        let f = Frames::new();
+        assert_eq!(f.top_level(), 1);
+        assert_eq!(f.total_lemmas(), 0);
+        assert!(f.is_fixpoint_at(1));
+    }
+
+    #[test]
+    fn add_and_query_levels() {
+        let mut f = Frames::new();
+        f.push_frame();
+        f.push_frame(); // top = 3
+        assert!(f.add(cube(&[(0, true), (1, false)]), 2));
+        assert!(f.add(cube(&[(2, true)]), 3));
+        assert_eq!(f.delta(2).len(), 1);
+        assert_eq!(f.delta(3).len(), 1);
+        // F_2 contains lemmas at levels >= 2.
+        assert_eq!(f.cubes_at_or_above(2).count(), 2);
+        assert_eq!(f.cubes_at_or_above(3).count(), 1);
+        assert_eq!(f.total_lemmas(), 2);
+        assert!(!f.is_fixpoint_at(2));
+    }
+
+    #[test]
+    fn subsumption_on_insert() {
+        let mut f = Frames::new();
+        f.push_frame(); // top = 2
+        assert!(f.add(cube(&[(0, true), (1, false)]), 1));
+        // A more general lemma (fewer literals) at a level covering level 1
+        // removes the weaker one.
+        assert!(f.add(cube(&[(0, true)]), 2));
+        assert_eq!(f.total_lemmas(), 1);
+        assert_eq!(f.delta(2).len(), 1);
+        // A weaker lemma subsumed by an existing one is rejected.
+        assert!(!f.add(cube(&[(0, true), (2, true)]), 1));
+        assert_eq!(f.total_lemmas(), 1);
+    }
+
+    #[test]
+    fn weaker_lemma_at_higher_level_is_kept() {
+        let mut f = Frames::new();
+        f.push_frame(); // top = 2
+        assert!(f.add(cube(&[(0, true)]), 1));
+        // The same cube cannot be re-added at level 1, but at level 2 the
+        // stronger statement is new (the existing lemma only covers F_1).
+        assert!(!f.add(cube(&[(0, true)]), 1));
+        assert!(f.add(cube(&[(0, true)]), 2));
+        assert_eq!(f.delta(2).len(), 1);
+        assert_eq!(f.delta(1).len(), 0, "old copy must be removed");
+    }
+
+    #[test]
+    fn promote_moves_between_levels() {
+        let mut f = Frames::new();
+        f.push_frame();
+        let c = cube(&[(0, true)]);
+        f.add(c.clone(), 1);
+        assert!(f.promote(&c, 1));
+        assert_eq!(f.delta(1).len(), 0);
+        assert_eq!(f.delta(2).len(), 1);
+        assert!(!f.promote(&c, 1), "no longer present at level 1");
+        assert!(f.is_fixpoint_at(1));
+    }
+
+    #[test]
+    fn parents_are_subset_lemmas_at_exactly_that_level() {
+        let mut f = Frames::new();
+        f.push_frame();
+        let parent = cube(&[(0, true)]);
+        let unrelated = cube(&[(5, false)]);
+        let bigger = cube(&[(0, true), (1, true), (2, false)]);
+        f.add(parent.clone(), 1);
+        f.add(unrelated, 1);
+        f.add(cube(&[(0, true), (1, true)]), 2); // at level 2, not 1
+        let parents = f.parents_of(&bigger, 1);
+        assert_eq!(parents, vec![parent]);
+        assert!(f.parents_of(&bigger, 0).is_empty());
+        assert!(f.parents_of(&bigger, 99).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "lemma level out of range")]
+    fn add_rejects_level_zero() {
+        let mut f = Frames::new();
+        f.add(cube(&[(0, true)]), 0);
+    }
+}

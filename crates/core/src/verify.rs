@@ -1,0 +1,229 @@
+//! Independent checking of the engine's answers: inductive-invariant
+//! certificates and counterexample traces.
+
+use crate::Certificate;
+use plic3_aig::Aig;
+use plic3_logic::Lit;
+use plic3_sat::{SatResult, Solver};
+use plic3_ts::{Trace, TransitionSystem, Unroller};
+
+/// Checks that a [`Certificate`] really is an inductive strengthening of the
+/// property, using fresh SAT queries that do not share any state with the IC3
+/// engine that produced it.
+///
+/// With `INV = lemmas ∧ P` (where `P = ¬bad`), the three conditions of
+/// Section 2.2 of the paper are verified:
+///
+/// 1. `I ⇒ INV` — every lemma cube excludes the initial cube (syntactic) and
+///    no initial state is bad,
+/// 2. `INV ∧ T ⇒ INV'` — for every lemma and for the property itself,
+/// 3. `INV ⇒ P` — immediate from the construction of `INV`.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first violated condition.
+///
+/// # Example
+///
+/// ```
+/// use plic3::{Config, Ic3, verify_certificate};
+/// use plic3_aig::AigBuilder;
+///
+/// let mut b = AigBuilder::new();
+/// let s = b.latch(Some(false));
+/// b.set_latch_next(s, s);
+/// b.add_bad(s);
+/// let mut engine = Ic3::from_aig(&b.build(), Config::ric3_like());
+/// let result = engine.check();
+/// let cert = result.certificate().expect("safe circuit");
+/// verify_certificate(engine.ts(), cert).expect("certificate is valid");
+/// ```
+pub fn verify_certificate(ts: &TransitionSystem, cert: &Certificate) -> Result<(), String> {
+    // Condition 1a: each lemma is over state variables and holds initially.
+    for (i, clause) in cert.lemmas.iter().enumerate() {
+        let cube = clause.negate();
+        if cube.iter().any(|l| !ts.is_latch_var(l.var())) {
+            return Err(format!(
+                "lemma {i} ({clause}) mentions a non-state variable"
+            ));
+        }
+        if ts.cube_intersects_init(&cube) {
+            return Err(format!(
+                "lemma {i} ({clause}) does not hold in the initial states"
+            ));
+        }
+    }
+
+    // Build a two-frame unrolling: frame 0 constrained by the invariant, frame 1
+    // used to evaluate the lemmas and the property after one step.
+    let unroller = Unroller::new(ts);
+    let mut solver = Solver::new();
+    solver.ensure_vars(unroller.num_vars_through(1));
+    for clause in unroller.trans_clauses(0) {
+        solver.add_clause_ref(&clause);
+    }
+    for clause in unroller.trans_clauses(1) {
+        solver.add_clause_ref(&clause);
+    }
+    for clause in &cert.lemmas {
+        solver.add_clause(clause.iter().map(|l| unroller.lit_at(0, l)));
+    }
+    // The antecedent also contains the property (INV includes P).
+    let not_bad_now: Vec<Lit> = vec![!unroller.lit_at(0, ts.bad_lit())];
+
+    // Condition 1b: no initial state is bad.
+    {
+        let mut init_solver = Solver::new();
+        init_solver.ensure_vars(ts.num_vars());
+        for clause in ts.trans() {
+            init_solver.add_clause_ref(clause);
+        }
+        for clause in ts.init_cnf() {
+            init_solver.add_clause_ref(clause);
+        }
+        if init_solver.solve(&ts.bad_assumptions()) == SatResult::Sat {
+            return Err("an initial state violates the property".to_string());
+        }
+    }
+
+    // Condition 2: consecution for every lemma.
+    for (i, clause) in cert.lemmas.iter().enumerate() {
+        let violated_next = clause.negate();
+        let mut assumptions = not_bad_now.clone();
+        assumptions.extend(violated_next.iter().map(|l| unroller.lit_at(1, l)));
+        if solver.solve(&assumptions) == SatResult::Sat {
+            return Err(format!(
+                "lemma {i} ({clause}) is not preserved by the transition relation"
+            ));
+        }
+    }
+
+    // Condition 2 for the property itself: INV ∧ T ⇒ P'.
+    let mut assumptions = not_bad_now;
+    assumptions.push(unroller.lit_at(1, ts.bad_lit()));
+    for &c in ts.constraint_lits() {
+        assumptions.push(unroller.lit_at(1, c));
+    }
+    if solver.solve(&assumptions) == SatResult::Sat {
+        return Err("the invariant does not imply the property after one step".to_string());
+    }
+
+    Ok(())
+}
+
+/// Replays a counterexample [`Trace`] on the original circuit and returns
+/// `true` if it indeed reaches a bad state.
+///
+/// This is a thin wrapper over [`Trace::replay_on_aig`], provided here so the
+/// verification entry points live side by side.
+pub fn verify_trace(ts: &TransitionSystem, aig: &Aig, trace: &Trace) -> bool {
+    trace.replay_on_aig(ts, aig)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Config, Ic3};
+    use plic3_aig::AigBuilder;
+    use plic3_logic::{Clause, Cube, Lit};
+
+    fn safe_counter() -> Aig {
+        // A 3-bit counter saturating at 5; bad at 7 (unreachable).
+        let mut b = AigBuilder::new();
+        let state = b.latches(3, Some(false));
+        let at5 = b.vec_equals_const(&state, 5);
+        let inc = b.vec_increment(&state);
+        for (s, n) in state.iter().zip(&inc) {
+            let held = b.ite(at5, *s, *n);
+            b.set_latch_next(*s, held);
+        }
+        let bad = b.vec_equals_const(&state, 7);
+        b.add_bad(bad);
+        b.build()
+    }
+
+    #[test]
+    fn accepts_genuine_certificates() {
+        let aig = safe_counter();
+        let mut engine = Ic3::from_aig(&aig, Config::ric3_like());
+        let result = engine.check();
+        let cert = result.certificate().expect("safe");
+        verify_certificate(engine.ts(), cert).expect("valid");
+    }
+
+    #[test]
+    fn rejects_certificates_violating_initiation() {
+        let aig = safe_counter();
+        let ts = TransitionSystem::from_aig(&aig);
+        // The clause ¬(all latches 0) is false in the initial state.
+        let bogus = Certificate {
+            lemmas: vec![Clause::from_lits(
+                (0..3).map(|i| Lit::pos(ts.latch_var(i))),
+            )],
+            level: 1,
+        };
+        let err = verify_certificate(&ts, &bogus).unwrap_err();
+        assert!(err.contains("initial"));
+    }
+
+    #[test]
+    fn rejects_certificates_violating_consecution() {
+        let aig = safe_counter();
+        let ts = TransitionSystem::from_aig(&aig);
+        // "Counter never reaches 1" is initially true but not inductive.
+        let bogus = Certificate {
+            lemmas: vec![Cube::from_lits([
+                Lit::pos(ts.latch_var(0)),
+                Lit::neg(ts.latch_var(1)),
+                Lit::neg(ts.latch_var(2)),
+            ])
+            .negate()],
+            level: 1,
+        };
+        let err = verify_certificate(&ts, &bogus).unwrap_err();
+        assert!(err.contains("not preserved"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn rejects_lemmas_over_non_state_variables() {
+        let aig = safe_counter();
+        let ts = TransitionSystem::from_aig(&aig);
+        let bogus = Certificate {
+            lemmas: vec![Clause::unit(Lit::neg(ts.primed_var(0)))],
+            level: 1,
+        };
+        let err = verify_certificate(&ts, &bogus).unwrap_err();
+        assert!(err.contains("non-state"));
+    }
+
+    #[test]
+    fn rejects_empty_certificate_for_non_inductive_property() {
+        // For the plain 3-bit counter with bad at 7, the property is not
+        // inductive on its own, so the empty certificate must be rejected.
+        let mut b = AigBuilder::new();
+        let state = b.latches(3, Some(false));
+        let inc = b.vec_increment(&state);
+        for (s, n) in state.iter().zip(&inc) {
+            b.set_latch_next(*s, *n);
+        }
+        let bad = b.vec_equals_const(&state, 7);
+        b.add_bad(bad);
+        let ts = TransitionSystem::from_aig(&b.build());
+        let err = verify_certificate(&ts, &Certificate::default()).unwrap_err();
+        assert!(err.contains("after one step"));
+    }
+
+    #[test]
+    fn trace_verification_delegates_to_replay() {
+        let mut b = AigBuilder::new();
+        let s = b.latch(Some(false));
+        b.set_latch_next(s, !s);
+        b.add_bad(s);
+        let aig = b.build();
+        let mut engine = Ic3::from_aig(&aig, Config::ric3_like());
+        let result = engine.check();
+        let trace = result.trace().expect("toggle reaches bad");
+        assert!(verify_trace(engine.ts(), &aig, trace));
+        assert!(!verify_trace(engine.ts(), &aig, &Trace::default()));
+    }
+}

@@ -1,0 +1,149 @@
+//! `plic3-exp` — command-line driver regenerating the tables and figures of
+//! *Predicting Lemmas in Generalization of IC3* (DAC 2024).
+//!
+//! ```text
+//! plic3-exp [COMMAND] [OPTIONS]
+//!
+//! Commands:
+//!   all       run the experiment and print every table/figure (default)
+//!   table1    Table 1 — summary of results
+//!   table2    Table 2 — average success rates
+//!   fig2      Figure 2 — solved cases vs time limit
+//!   fig3      Figure 3 — runtime scatter base vs prediction
+//!   fig4      Figure 4 — runtime ratio vs SR_adv
+//!   ablation  ablation over the design knobs
+//!
+//! Options:
+//!   --full            run the full HWMCC-style suite (default: quick suite)
+//!   --timeout <secs>  per-case wall-clock budget (default: 10)
+//!   --csv <dir>       also write CSV files into <dir>
+//! ```
+
+use plic3_benchmarks::Suite;
+use plic3_harness::{
+    ablation, fig2, fig3, fig4, run_experiment, table1, table2, Configuration, RunnerConfig,
+};
+use std::path::PathBuf;
+use std::time::Duration;
+
+struct Options {
+    command: String,
+    full: bool,
+    timeout: Duration,
+    csv_dir: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut options = Options {
+        command: "all".to_string(),
+        full: false,
+        timeout: Duration::from_secs(10),
+        csv_dir: None,
+    };
+    let mut args = std::env::args().skip(1).peekable();
+    if let Some(first) = args.peek() {
+        if !first.starts_with("--") {
+            options.command = args.next().expect("peeked");
+        }
+    }
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--full" => options.full = true,
+            "--timeout" => {
+                let value = args.next().ok_or("--timeout needs a value")?;
+                let secs: f64 = value.parse().map_err(|_| "invalid --timeout value")?;
+                options.timeout = Duration::from_secs_f64(secs);
+            }
+            "--csv" => {
+                let value = args.next().ok_or("--csv needs a directory")?;
+                options.csv_dir = Some(PathBuf::from(value));
+            }
+            other => return Err(format!("unknown option '{other}'")),
+        }
+    }
+    Ok(options)
+}
+
+fn write_csv(dir: &Option<PathBuf>, name: &str, contents: &str) {
+    if let Some(dir) = dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("warning: cannot create {dir:?}: {e}");
+            return;
+        }
+        let path = dir.join(name);
+        if let Err(e) = std::fs::write(&path, contents) {
+            eprintln!("warning: cannot write {path:?}: {e}");
+        } else {
+            eprintln!("wrote {path:?}");
+        }
+    }
+}
+
+fn main() {
+    let options = match parse_args() {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("error: {message}");
+            std::process::exit(2);
+        }
+    };
+    let suite = if options.full {
+        Suite::hwmcc_like()
+    } else {
+        Suite::quick()
+    };
+    let runner = RunnerConfig {
+        timeout: options.timeout,
+        ..RunnerConfig::default()
+    };
+    eprintln!(
+        "running {} instances x 6 configurations (per-case timeout {:?})",
+        suite.len(),
+        runner.timeout
+    );
+
+    if options.command == "ablation" {
+        let report = ablation::run(&suite, &ablation::default_variants(), &runner);
+        println!("{}", ablation::render(&report));
+        return;
+    }
+
+    let data = run_experiment(&suite, &Configuration::all(), &runner);
+    if data.wrong_verdicts() > 0 {
+        eprintln!(
+            "WARNING: {} runs returned a verdict contradicting the ground truth",
+            data.wrong_verdicts()
+        );
+    }
+
+    let want = |name: &str| options.command == "all" || options.command == name;
+    if want("table1") {
+        let table = table1::build(&data);
+        println!("{}", table1::render(&table));
+        write_csv(&options.csv_dir, "table1.csv", &table1::to_csv(&table));
+    }
+    if want("table2") {
+        let table = table2::build(&data);
+        println!("{}", table2::render(&table));
+        write_csv(&options.csv_dir, "table2.csv", &table2::to_csv(&table));
+    }
+    if want("fig2") {
+        let fig = fig2::build(&data, &fig2::default_limits(runner.timeout));
+        println!("{}", fig2::render(&fig));
+        write_csv(&options.csv_dir, "fig2.csv", &fig2::to_csv(&fig));
+    }
+    if want("fig3") {
+        let fig = fig3::build(&data);
+        println!("{}", fig3::render(&fig));
+        write_csv(&options.csv_dir, "fig3.csv", &fig3::to_csv(&fig));
+    }
+    if want("fig4") {
+        let fig = fig4::build(&data, runner.fast_case_threshold);
+        println!("{}", fig4::render(&fig));
+        write_csv(&options.csv_dir, "fig4.csv", &fig4::to_csv(&fig));
+    }
+    if !["all", "table1", "table2", "fig2", "fig3", "fig4"].contains(&options.command.as_str()) {
+        eprintln!("error: unknown command '{}'", options.command);
+        std::process::exit(2);
+    }
+}

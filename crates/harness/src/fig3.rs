@@ -1,0 +1,189 @@
+//! Figure 3 — per-case runtime scatter: base configuration vs. the same
+//! configuration with lemma prediction.
+
+use crate::report::{seconds, TextTable};
+use crate::{Configuration, ExperimentData};
+
+/// One scatter point.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Point {
+    /// Benchmark instance name.
+    pub benchmark: String,
+    /// Runtime of the base configuration in seconds (timeouts count as the full
+    /// per-case budget).
+    pub base_secs: f64,
+    /// Runtime of the prediction-enabled configuration in seconds.
+    pub pl_secs: f64,
+    /// Whether the base configuration solved the case.
+    pub base_solved: bool,
+    /// Whether the prediction-enabled configuration solved the case.
+    pub pl_solved: bool,
+}
+
+impl Point {
+    /// Returns `true` if the point lies below the diagonal, i.e. the
+    /// prediction-enabled configuration was faster.
+    pub fn below_diagonal(&self) -> bool {
+        self.pl_secs < self.base_secs
+    }
+}
+
+/// The scatter data of one base/prediction pair.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Scatter {
+    /// The base configuration.
+    pub base: Configuration,
+    /// The prediction-enabled configuration.
+    pub pl: Configuration,
+    /// One point per benchmark instance present in both runs.
+    pub points: Vec<Point>,
+}
+
+impl Scatter {
+    /// Fraction of points strictly below the diagonal (prediction faster).
+    pub fn fraction_below_diagonal(&self) -> f64 {
+        if self.points.is_empty() {
+            return 0.0;
+        }
+        self.points.iter().filter(|p| p.below_diagonal()).count() as f64
+            / self.points.len() as f64
+    }
+}
+
+/// The data behind Figure 3: one scatter per base/prediction pair present in
+/// the experiment.
+#[derive(Clone, Debug, Default)]
+pub struct Fig3 {
+    /// The scatters (RIC3 vs RIC3-pl and IC3ref vs IC3ref-pl in the paper).
+    pub scatters: Vec<Scatter>,
+}
+
+/// Builds the Figure 3 data.
+pub fn build(data: &ExperimentData) -> Fig3 {
+    let configs = data.configurations();
+    let mut scatters = Vec::new();
+    for &pl in &configs {
+        let Some(base) = pl.base() else { continue };
+        if !configs.contains(&base) {
+            continue;
+        }
+        let mut points = Vec::new();
+        for pl_result in data.for_configuration(pl) {
+            let Some(base_result) = data.result_of(base, &pl_result.benchmark) else {
+                continue;
+            };
+            points.push(Point {
+                benchmark: pl_result.benchmark.clone(),
+                base_secs: base_result.runtime_secs(),
+                pl_secs: pl_result.runtime_secs(),
+                base_solved: base_result.verdict.solved(),
+                pl_solved: pl_result.verdict.solved(),
+            });
+        }
+        scatters.push(Scatter { base, pl, points });
+    }
+    Fig3 { scatters }
+}
+
+/// Renders the scatter data as per-pair tables.
+pub fn render(fig: &Fig3) -> String {
+    let mut out = String::from("Figure 3: runtime scatter, base vs. lemma prediction\n");
+    for scatter in &fig.scatters {
+        out.push_str(&format!(
+            "\n{} vs {} ({} cases, {:.1}% below the diagonal)\n",
+            scatter.base.label(),
+            scatter.pl.label(),
+            scatter.points.len(),
+            100.0 * scatter.fraction_below_diagonal()
+        ));
+        let mut text = TextTable::new(vec![
+            "benchmark".into(),
+            format!("{} (s)", scatter.base.label()),
+            format!("{} (s)", scatter.pl.label()),
+            "faster".into(),
+        ]);
+        for p in &scatter.points {
+            text.add_row(vec![
+                p.benchmark.clone(),
+                seconds(p.base_secs),
+                seconds(p.pl_secs),
+                if p.below_diagonal() { "pl" } else { "base" }.into(),
+            ]);
+        }
+        out.push_str(&text.render());
+    }
+    out
+}
+
+/// Renders the scatter data as CSV (all pairs concatenated, tagged by pair).
+pub fn to_csv(fig: &Fig3) -> String {
+    let mut text = TextTable::new(vec![
+        "pair".into(),
+        "benchmark".into(),
+        "base_secs".into(),
+        "pl_secs".into(),
+        "base_solved".into(),
+        "pl_solved".into(),
+    ]);
+    for scatter in &fig.scatters {
+        for p in &scatter.points {
+            text.add_row(vec![
+                format!("{}_vs_{}", scatter.base.label(), scatter.pl.label()),
+                p.benchmark.clone(),
+                format!("{}", p.base_secs),
+                format!("{}", p.pl_secs),
+                p.base_solved.to_string(),
+                p.pl_solved.to_string(),
+            ]);
+        }
+    }
+    text.to_csv()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{run_experiment, RunnerConfig};
+    use plic3_benchmarks::Suite;
+    use std::time::Duration;
+
+    #[test]
+    fn scatter_pairs_base_with_prediction_runs() {
+        let suite = Suite::quick().filter(|b| matches!(b.family(), "counter" | "lock"));
+        let runner = RunnerConfig {
+            timeout: Duration::from_secs(5),
+            ..RunnerConfig::default()
+        };
+        let data = run_experiment(
+            &suite,
+            &[
+                Configuration::Ric3,
+                Configuration::Ric3Pl,
+                Configuration::Ic3refCav23,
+            ],
+            &runner,
+        );
+        let fig = build(&data);
+        assert_eq!(fig.scatters.len(), 1, "only the RIC3 pair is complete");
+        let scatter = &fig.scatters[0];
+        assert_eq!(scatter.base, Configuration::Ric3);
+        assert_eq!(scatter.pl, Configuration::Ric3Pl);
+        assert_eq!(scatter.points.len(), suite.len());
+        let fraction = scatter.fraction_below_diagonal();
+        assert!((0.0..=1.0).contains(&fraction));
+        let text = render(&fig);
+        assert!(text.contains("Figure 3"));
+        assert!(text.contains("below the diagonal"));
+        assert!(to_csv(&fig).starts_with("pair,benchmark,"));
+    }
+
+    #[test]
+    fn empty_scatter_is_well_behaved() {
+        let scatter = Scatter {
+            base: Configuration::Ric3,
+            pl: Configuration::Ric3Pl,
+            points: Vec::new(),
+        };
+        assert_eq!(scatter.fraction_below_diagonal(), 0.0);
+    }
+}

@@ -1,0 +1,342 @@
+//! Resource-limited execution of the benchmark suite under the paper's
+//! configurations.
+
+use plic3::{Config, Ic3, Statistics};
+use plic3_benchmarks::{Benchmark, ExpectedResult, Suite};
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// The configurations evaluated in Table 1 of the paper.
+///
+/// `RIC3` and `IC3ref` are the two base implementations, the `-pl` variants add
+/// the CTP-based lemma prediction, `IC3ref-CAV23` is the parent-guided
+/// generalization of Xia et al., and `ABC-PDR` is the PDR implementation of
+/// ABC. In this reproduction all six are the same Rust engine under the
+/// corresponding [`Config`] presets (see `DESIGN.md` for the substitution
+/// rationale).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Configuration {
+    /// RIC3-style baseline (CTG generalization).
+    Ric3,
+    /// RIC3 plus the paper's lemma prediction.
+    Ric3Pl,
+    /// IC3ref-style baseline (plain MIC).
+    Ic3ref,
+    /// IC3ref plus the paper's lemma prediction.
+    Ic3refPl,
+    /// The CAV'23 parent-guided generalization ordering.
+    Ic3refCav23,
+    /// An ABC-PDR-style configuration.
+    AbcPdr,
+}
+
+impl Configuration {
+    /// All six configurations, in the order of Table 1 of the paper.
+    pub fn all() -> [Configuration; 6] {
+        [
+            Configuration::Ric3,
+            Configuration::Ric3Pl,
+            Configuration::Ic3ref,
+            Configuration::Ic3refPl,
+            Configuration::Ic3refCav23,
+            Configuration::AbcPdr,
+        ]
+    }
+
+    /// The label used in the paper's tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Configuration::Ric3 => "RIC3",
+            Configuration::Ric3Pl => "RIC3-pl",
+            Configuration::Ic3ref => "IC3ref",
+            Configuration::Ic3refPl => "IC3ref-pl",
+            Configuration::Ic3refCav23 => "IC3ref-CAV23",
+            Configuration::AbcPdr => "ABC-PDR",
+        }
+    }
+
+    /// Returns `true` for the prediction-enabled configurations.
+    pub fn has_prediction(&self) -> bool {
+        matches!(self, Configuration::Ric3Pl | Configuration::Ic3refPl)
+    }
+
+    /// The base configuration a prediction-enabled configuration extends, if
+    /// any (used by the Figure 3 and Figure 4 pairings).
+    pub fn base(&self) -> Option<Configuration> {
+        match self {
+            Configuration::Ric3Pl => Some(Configuration::Ric3),
+            Configuration::Ic3refPl => Some(Configuration::Ic3ref),
+            _ => None,
+        }
+    }
+
+    /// The engine configuration preset for this evaluation configuration.
+    pub fn to_config(&self) -> Config {
+        match self {
+            Configuration::Ric3 => Config::ric3_like(),
+            Configuration::Ric3Pl => Config::ric3_like().with_lemma_prediction(true),
+            Configuration::Ic3ref => Config::ic3ref_like(),
+            Configuration::Ic3refPl => Config::ic3ref_like().with_lemma_prediction(true),
+            Configuration::Ic3refCav23 => Config::cav23_like(),
+            Configuration::AbcPdr => Config::pdr_like(),
+        }
+    }
+}
+
+impl fmt::Display for Configuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+/// The outcome of one (configuration, benchmark) run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Verdict {
+    /// Proved safe (with a verified certificate).
+    Safe,
+    /// Proved unsafe (with a verified counterexample).
+    Unsafe,
+    /// No verdict within the per-case budget.
+    Unknown,
+}
+
+impl Verdict {
+    /// Returns `true` if the case was solved (safe or unsafe).
+    pub fn solved(&self) -> bool {
+        !matches!(self, Verdict::Unknown)
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Verdict::Safe => write!(f, "safe"),
+            Verdict::Unsafe => write!(f, "unsafe"),
+            Verdict::Unknown => write!(f, "unknown"),
+        }
+    }
+}
+
+/// Per-case resource budgets and analysis thresholds.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RunnerConfig {
+    /// Per-case wall-clock budget (the paper uses 1000 s; scale to the suite).
+    pub timeout: Duration,
+    /// Per-case SAT-conflict budget, as a secondary safeguard.
+    pub max_conflicts: Option<u64>,
+    /// Cases where both members of a base/prediction pair finish faster than
+    /// this are dropped from the Figure 4 analysis (the paper uses 1 s).
+    pub fast_case_threshold: Duration,
+}
+
+impl Default for RunnerConfig {
+    fn default() -> Self {
+        RunnerConfig {
+            timeout: Duration::from_secs(10),
+            max_conflicts: Some(2_000_000),
+            fast_case_threshold: Duration::from_millis(10),
+        }
+    }
+}
+
+/// The outcome and statistics of one (configuration, benchmark) run.
+#[derive(Clone, Debug)]
+pub struct CaseResult {
+    /// Benchmark instance name.
+    pub benchmark: String,
+    /// Benchmark family.
+    pub family: String,
+    /// Ground-truth expectation.
+    pub expected: ExpectedResult,
+    /// The configuration that ran.
+    pub configuration: Configuration,
+    /// The verdict reached.
+    pub verdict: Verdict,
+    /// Whether the verdict matches the ground truth (`true` for `Unknown`).
+    pub correct: bool,
+    /// Whether the certificate / counterexample passed independent checking.
+    pub verified: bool,
+    /// Wall-clock runtime of the run.
+    pub runtime: Duration,
+    /// Engine statistics (including the prediction counters).
+    pub stats: Statistics,
+}
+
+impl CaseResult {
+    /// Runtime in seconds, with timeouts reported as the full budget.
+    pub fn runtime_secs(&self) -> f64 {
+        self.runtime.as_secs_f64()
+    }
+}
+
+/// All results of an experiment run.
+#[derive(Clone, Debug, Default)]
+pub struct ExperimentData {
+    /// One entry per (configuration, benchmark) pair.
+    pub results: Vec<CaseResult>,
+    /// The per-case budgets used.
+    pub runner: Option<RunnerConfig>,
+}
+
+impl ExperimentData {
+    /// Results of a single configuration.
+    pub fn for_configuration(&self, config: Configuration) -> Vec<&CaseResult> {
+        self.results
+            .iter()
+            .filter(|r| r.configuration == config)
+            .collect()
+    }
+
+    /// The result of `config` on the named benchmark, if present.
+    pub fn result_of(&self, config: Configuration, benchmark: &str) -> Option<&CaseResult> {
+        self.results
+            .iter()
+            .find(|r| r.configuration == config && r.benchmark == benchmark)
+    }
+
+    /// All configurations present in the data, in first-seen order.
+    pub fn configurations(&self) -> Vec<Configuration> {
+        let mut seen = Vec::new();
+        for r in &self.results {
+            if !seen.contains(&r.configuration) {
+                seen.push(r.configuration);
+            }
+        }
+        seen
+    }
+
+    /// Number of wrong verdicts (should always be zero).
+    pub fn wrong_verdicts(&self) -> usize {
+        self.results.iter().filter(|r| !r.correct).count()
+    }
+}
+
+/// Runs a single benchmark under a single configuration with the given budgets.
+pub fn run_case(
+    benchmark: &Benchmark,
+    configuration: Configuration,
+    runner: &RunnerConfig,
+) -> CaseResult {
+    let mut config = configuration
+        .to_config()
+        .with_max_time(runner.timeout);
+    config.limits.max_conflicts = runner.max_conflicts;
+    let ts = benchmark.ts();
+    let mut engine = Ic3::new(ts, config);
+    let started = Instant::now();
+    let outcome = engine.check();
+    let runtime = started.elapsed();
+    let (verdict, verified) = match &outcome {
+        plic3::CheckResult::Safe(cert) => (
+            Verdict::Safe,
+            plic3::verify_certificate(engine.ts(), cert).is_ok(),
+        ),
+        plic3::CheckResult::Unsafe(trace) => (
+            Verdict::Unsafe,
+            plic3::verify_trace(engine.ts(), benchmark.aig(), trace),
+        ),
+        plic3::CheckResult::Unknown(_) => (Verdict::Unknown, true),
+    };
+    let correct = match (verdict, benchmark.expected()) {
+        (Verdict::Safe, ExpectedResult::Safe) => true,
+        (Verdict::Unsafe, ExpectedResult::Unsafe { .. }) => true,
+        (Verdict::Unknown, _) => true,
+        _ => false,
+    };
+    CaseResult {
+        benchmark: benchmark.name().to_string(),
+        family: benchmark.family().to_string(),
+        expected: benchmark.expected(),
+        configuration,
+        verdict,
+        correct,
+        verified,
+        runtime,
+        stats: *engine.statistics(),
+    }
+}
+
+/// Runs the whole `suite` under every configuration in `configurations`.
+///
+/// Results are gathered sequentially and deterministically (benchmark-major
+/// order), so repeated runs differ only in measured runtimes.
+pub fn run_experiment(
+    suite: &Suite,
+    configurations: &[Configuration],
+    runner: &RunnerConfig,
+) -> ExperimentData {
+    let mut results = Vec::with_capacity(suite.len() * configurations.len());
+    for benchmark in suite {
+        for &configuration in configurations {
+            results.push(run_case(benchmark, configuration, runner));
+        }
+    }
+    ExperimentData {
+        results,
+        runner: Some(*runner),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_runner() -> RunnerConfig {
+        RunnerConfig {
+            timeout: Duration::from_secs(5),
+            max_conflicts: Some(200_000),
+            fast_case_threshold: Duration::from_millis(1),
+        }
+    }
+
+    #[test]
+    fn configuration_metadata_is_consistent() {
+        assert_eq!(Configuration::all().len(), 6);
+        for config in Configuration::all() {
+            assert!(!config.label().is_empty());
+            if let Some(base) = config.base() {
+                assert!(config.has_prediction());
+                assert!(!base.has_prediction());
+                assert!(base.to_config().lemma_prediction == false);
+                assert!(config.to_config().lemma_prediction);
+            }
+        }
+        assert_eq!(Configuration::Ric3Pl.to_string(), "RIC3-pl");
+    }
+
+    #[test]
+    fn run_case_agrees_with_ground_truth_on_quick_suite() {
+        let suite = Suite::quick();
+        let runner = tiny_runner();
+        for benchmark in suite.iter().take(6) {
+            let result = run_case(benchmark, Configuration::Ric3Pl, &runner);
+            assert!(result.correct, "{} got wrong verdict", benchmark.name());
+            if result.verdict.solved() {
+                assert!(result.verified, "{} result not verified", benchmark.name());
+            }
+        }
+    }
+
+    #[test]
+    fn experiment_data_accessors() {
+        let suite = Suite::quick().filter(|b| b.family() == "counter");
+        let runner = tiny_runner();
+        let configs = [Configuration::Ric3, Configuration::Ric3Pl];
+        let data = run_experiment(&suite, &configs, &runner);
+        assert_eq!(data.results.len(), suite.len() * 2);
+        assert_eq!(data.configurations(), configs.to_vec());
+        assert_eq!(data.wrong_verdicts(), 0);
+        assert_eq!(data.for_configuration(Configuration::Ric3).len(), suite.len());
+        let name = suite.iter().next().expect("non-empty").name();
+        assert!(data.result_of(Configuration::Ric3Pl, name).is_some());
+        assert!(data.result_of(Configuration::AbcPdr, name).is_none());
+    }
+
+    #[test]
+    fn verdict_predicates() {
+        assert!(Verdict::Safe.solved());
+        assert!(Verdict::Unsafe.solved());
+        assert!(!Verdict::Unknown.solved());
+        assert_eq!(Verdict::Unknown.to_string(), "unknown");
+    }
+}

@@ -1,0 +1,147 @@
+//! Table 1 — Summary of Results: cases solved per configuration.
+
+use crate::report::TextTable;
+use crate::{Configuration, ExperimentData, Verdict};
+
+/// One row of Table 1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Row {
+    /// The configuration the row describes.
+    pub configuration: Configuration,
+    /// Total number of solved cases.
+    pub solved: usize,
+    /// Cases solved with a `Safe` verdict.
+    pub safe: usize,
+    /// Cases solved with an `Unsafe` verdict.
+    pub unsafe_: usize,
+    /// Cases that hit the per-case budget.
+    pub unknown: usize,
+}
+
+/// The reproduced Table 1.
+#[derive(Clone, Debug, Default)]
+pub struct Table1 {
+    /// One row per configuration, in the order the configurations were run.
+    pub rows: Vec<Row>,
+}
+
+/// Builds Table 1 from experiment data.
+pub fn build(data: &ExperimentData) -> Table1 {
+    let rows = data
+        .configurations()
+        .into_iter()
+        .map(|configuration| {
+            let results = data.for_configuration(configuration);
+            let safe = results
+                .iter()
+                .filter(|r| r.verdict == Verdict::Safe)
+                .count();
+            let unsafe_ = results
+                .iter()
+                .filter(|r| r.verdict == Verdict::Unsafe)
+                .count();
+            let unknown = results.len() - safe - unsafe_;
+            Row {
+                configuration,
+                solved: safe + unsafe_,
+                safe,
+                unsafe_,
+                unknown,
+            }
+        })
+        .collect();
+    Table1 { rows }
+}
+
+/// Renders the table in the layout of the paper (`Configuration  Solved  Safe
+/// Unsafe`), with an extra `Unknown` column.
+pub fn render(table: &Table1) -> String {
+    let mut text = TextTable::new(vec![
+        "Configuration".into(),
+        "Solved".into(),
+        "Safe".into(),
+        "Unsafe".into(),
+        "Unknown".into(),
+    ]);
+    for row in &table.rows {
+        text.add_row(vec![
+            row.configuration.label().to_string(),
+            row.solved.to_string(),
+            row.safe.to_string(),
+            row.unsafe_.to_string(),
+            row.unknown.to_string(),
+        ]);
+    }
+    format!("Table 1: Summary of Results\n{}", text.render())
+}
+
+/// Renders the table as CSV.
+pub fn to_csv(table: &Table1) -> String {
+    let mut text = TextTable::new(vec![
+        "configuration".into(),
+        "solved".into(),
+        "safe".into(),
+        "unsafe".into(),
+        "unknown".into(),
+    ]);
+    for row in &table.rows {
+        text.add_row(vec![
+            row.configuration.label().to_string(),
+            row.solved.to_string(),
+            row.safe.to_string(),
+            row.unsafe_.to_string(),
+            row.unknown.to_string(),
+        ]);
+    }
+    text.to_csv()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{run_experiment, RunnerConfig};
+    use plic3_benchmarks::Suite;
+    use std::time::Duration;
+
+    fn sample_data() -> ExperimentData {
+        let suite = Suite::quick().filter(|b| matches!(b.family(), "counter" | "ring"));
+        let runner = RunnerConfig {
+            timeout: Duration::from_secs(5),
+            ..RunnerConfig::default()
+        };
+        run_experiment(
+            &suite,
+            &[Configuration::Ric3, Configuration::Ric3Pl],
+            &runner,
+        )
+    }
+
+    #[test]
+    fn rows_add_up() {
+        let data = sample_data();
+        let table = build(&data);
+        assert_eq!(table.rows.len(), 2);
+        for row in &table.rows {
+            assert_eq!(row.solved, row.safe + row.unsafe_);
+            assert_eq!(
+                row.solved + row.unknown,
+                data.for_configuration(row.configuration).len()
+            );
+            // The quick instances are easy enough to always be solved.
+            assert_eq!(row.unknown, 0, "{} timed out unexpectedly", row.configuration);
+        }
+    }
+
+    #[test]
+    fn render_contains_all_configurations() {
+        let data = sample_data();
+        let table = build(&data);
+        let text = render(&table);
+        assert!(text.contains("Table 1"));
+        assert!(text.contains("RIC3"));
+        assert!(text.contains("RIC3-pl"));
+        let csv = to_csv(&table);
+        assert_eq!(csv.lines().count(), 3);
+        assert!(csv.starts_with("configuration,"));
+    }
+}

@@ -1,0 +1,234 @@
+//! Property-based tests for the logic primitives.
+//!
+//! These encode Definition 3.1 and Theorems 3.2–3.4 of *Predicting Lemmas in
+//! Generalization of IC3* (DAC 2024) as executable properties, plus general
+//! sanity invariants of the cube/clause/assignment types.
+
+use plic3_logic::{Assignment, Clause, Cnf, Cube, Lit, Var};
+use proptest::prelude::*;
+
+const MAX_VAR: u32 = 8;
+
+/// Strategy for an arbitrary literal over a small variable range.
+fn arb_lit() -> impl Strategy<Value = Lit> {
+    (0..MAX_VAR, any::<bool>()).prop_map(|(v, pos)| Lit::new(Var::new(v), pos))
+}
+
+/// Strategy for an arbitrary (possibly contradictory) cube.
+fn arb_cube() -> impl Strategy<Value = Cube> {
+    prop::collection::vec(arb_lit(), 0..10).prop_map(Cube::from_lits)
+}
+
+/// Strategy for a consistent cube (at most one polarity per variable).
+fn arb_consistent_cube() -> impl Strategy<Value = Cube> {
+    prop::collection::btree_map(0..MAX_VAR, any::<bool>(), 0..8).prop_map(|m| {
+        Cube::from_lits(m.into_iter().map(|(v, pos)| Lit::new(Var::new(v), pos)))
+    })
+}
+
+/// Strategy for a non-empty consistent cube.
+fn arb_nonempty_consistent_cube() -> impl Strategy<Value = Cube> {
+    prop::collection::btree_map(0..MAX_VAR, any::<bool>(), 1..8).prop_map(|m| {
+        Cube::from_lits(m.into_iter().map(|(v, pos)| Lit::new(Var::new(v), pos)))
+    })
+}
+
+/// Strategy for a total assignment over the variable range.
+fn arb_total_assignment() -> impl Strategy<Value = Assignment> {
+    prop::collection::vec(any::<bool>(), MAX_VAR as usize)
+        .prop_map(|vals| Assignment::from_values(vals.into_iter().map(Some).collect()))
+}
+
+/// Enumerate all total assignments over `MAX_VAR` variables (2^8 = 256 of them).
+fn all_assignments() -> impl Iterator<Item = Assignment> {
+    (0u32..(1 << MAX_VAR)).map(|bits| {
+        Assignment::from_values(
+            (0..MAX_VAR)
+                .map(|i| Some(bits >> i & 1 == 1))
+                .collect::<Vec<_>>(),
+        )
+    })
+}
+
+proptest! {
+    // ------------------------------------------------------------------
+    // Literal and negation basics
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn lit_double_negation(l in arb_lit()) {
+        prop_assert_eq!(!!l, l);
+        prop_assert_ne!(!l, l);
+        prop_assert_eq!((!l).var(), l.var());
+    }
+
+    #[test]
+    fn dimacs_roundtrip(l in arb_lit()) {
+        prop_assert_eq!(Lit::from_dimacs(l.to_dimacs()), l);
+    }
+
+    // ------------------------------------------------------------------
+    // Cube invariants
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn cube_lits_sorted_and_unique(c in arb_cube()) {
+        let lits = c.lits();
+        for w in lits.windows(2) {
+            prop_assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn cube_negate_involutive(c in arb_cube()) {
+        prop_assert_eq!(c.negate().negate(), c);
+    }
+
+    #[test]
+    fn cube_with_then_without(c in arb_cube(), l in arb_lit()) {
+        let added = c.with_lit(l);
+        prop_assert!(added.contains(l));
+        if !c.contains(l) {
+            prop_assert_eq!(added.without_lit(l), c);
+        }
+    }
+
+    #[test]
+    fn cube_subsumes_is_reflexive_and_monotone(c in arb_cube(), l in arb_lit()) {
+        prop_assert!(c.subsumes(&c));
+        prop_assert!(c.subsumes(&c.with_lit(l)));
+        prop_assert!(Cube::top().subsumes(&c));
+    }
+
+    // ------------------------------------------------------------------
+    // Theorem 3.4: for consistent non-empty cubes a, b:  a ⇒ b  iff  b ⊆ a.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn theorem_3_4_subset_iff_entailment(
+        a in arb_nonempty_consistent_cube(),
+        b in arb_nonempty_consistent_cube(),
+    ) {
+        let subset = b.subsumes(&a); // b ⊆ a as literal sets
+        // Semantic entailment a ⇒ b checked by enumerating all assignments.
+        let entails = all_assignments()
+            .filter(|asg| asg.satisfies_cube(&a))
+            .all(|asg| asg.satisfies_cube(&b));
+        prop_assert_eq!(subset, entails);
+    }
+
+    // ------------------------------------------------------------------
+    // Definition 3.1 / Theorem 3.2: diff(a,b) ≠ ∅ iff a ∧ b unsatisfiable.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn theorem_3_2_diff_nonempty_iff_conjunction_unsat(
+        a in arb_nonempty_consistent_cube(),
+        b in arb_nonempty_consistent_cube(),
+    ) {
+        let diff_nonempty = !a.diff(&b).is_empty();
+        let conjunction_unsat = !all_assignments()
+            .any(|asg| asg.satisfies_cube(&a) && asg.satisfies_cube(&b));
+        prop_assert_eq!(diff_nonempty, conjunction_unsat);
+    }
+
+    #[test]
+    fn diff_is_subset_of_lhs(a in arb_cube(), b in arb_cube()) {
+        let d = a.diff(&b);
+        prop_assert!(d.subsumes(&a));
+        for l in &d {
+            prop_assert!(a.contains(l));
+            prop_assert!(b.contains(!l));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Theorem 3.3: if diff(a,b) ≠ ∅ and c ∩ diff(a,b) ≠ ∅ then diff(c,b) ≠ ∅.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn theorem_3_3_diff_propagates_through_intersection(
+        a in arb_cube(),
+        b in arb_cube(),
+        c in arb_cube(),
+    ) {
+        let dab = a.diff(&b);
+        if !dab.is_empty() && !c.intersection(&dab).is_empty() {
+            prop_assert!(!c.diff(&b).is_empty());
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // The paper's candidate construction (Equation 6): c3 = c2 ∪ {l}, l ∈ diff(b, t)
+    // satisfies  c3 ∧ t = ⊥  (Eq. 2),  c3 ⊆ b when c2 ⊆ b (Eq. 3),  c2 ⊆ c3 (Eq. 4).
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn equation_6_candidate_properties(
+        b in arb_nonempty_consistent_cube(),
+        t in arb_nonempty_consistent_cube(),
+        keep in prop::collection::vec(any::<bool>(), 10),
+    ) {
+        let ds = b.diff(&t);
+        prop_assume!(!ds.is_empty());
+        // Build a parent cube c2 ⊆ b by dropping some literals of b.
+        let mask: Vec<bool> = b.lits().iter().enumerate()
+            .map(|(i, _)| keep.get(i).copied().unwrap_or(true))
+            .collect();
+        let c2 = b.retain_by_mask(&mask);
+        for l in &ds {
+            let c3 = c2.with_lit(l);
+            // Eq. 4: c2 ⊆ c3.
+            prop_assert!(c2.subsumes(&c3));
+            // Eq. 3: c3 ⊆ b (so b ⇒ c3).
+            prop_assert!(c3.subsumes(&b));
+            // Eq. 2: c3 ∧ t = ⊥, via Theorem 3.2 (diff non-empty).
+            prop_assert!(!c3.diff(&t).is_empty());
+            // And semantically: no assignment satisfies both c3 and t.
+            let compatible = all_assignments()
+                .any(|asg| asg.satisfies_cube(&c3) && asg.satisfies_cube(&t));
+            prop_assert!(!compatible);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Clause / CNF / assignment interplay
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn clause_negation_flips_evaluation(
+        c in arb_consistent_cube(),
+        asg in arb_total_assignment(),
+    ) {
+        let clause = c.negate();
+        // Under a total assignment the cube and its negated clause always have
+        // opposite truth values.
+        if let (Some(cube_val), Some(clause_val)) = (asg.eval_cube(&c), asg.eval_clause(&clause)) {
+            prop_assert_ne!(cube_val, clause_val);
+        } else {
+            // Total assignment over MAX_VAR vars: both must be determined.
+            prop_assert!(c.max_var().map(|v| v.index() >= MAX_VAR as usize).unwrap_or(false));
+        }
+    }
+
+    #[test]
+    fn cnf_eval_matches_clausewise_eval(
+        clauses in prop::collection::vec(
+            prop::collection::vec(arb_lit(), 1..4).prop_map(Clause::from_lits), 0..6),
+        asg in arb_total_assignment(),
+    ) {
+        let cnf = Cnf::from_clauses(clauses.clone());
+        let expected = clauses.iter().map(|c| asg.eval_clause(c)).try_fold(true, |acc, v| {
+            v.map(|v| acc && v)
+        });
+        prop_assert_eq!(cnf.eval(&asg), expected);
+    }
+
+    #[test]
+    fn assignment_projection_satisfies_cube(asg in arb_total_assignment()) {
+        let vars: Vec<Var> = (0..MAX_VAR).map(Var::new).collect();
+        let cube = asg.to_cube(vars);
+        prop_assert!(asg.satisfies_cube(&cube));
+        prop_assert!(!cube.is_contradictory());
+    }
+}

@@ -1,0 +1,79 @@
+//! Exhaustive reference solver used to cross-check the CDCL engine in tests.
+
+use plic3_logic::{Assignment, Cnf, Lit};
+
+/// Decides satisfiability of `cnf` (restricted to variables `0..num_vars`) under
+/// the given `assumptions` by exhaustive enumeration, returning a satisfying
+/// [`Assignment`] if one exists.
+///
+/// This is exponential in `num_vars` and intended only for testing the CDCL
+/// solver and the model-checking engines on small instances.
+///
+/// # Panics
+///
+/// Panics if `num_vars > 24` to avoid accidentally enumerating huge spaces.
+///
+/// # Example
+///
+/// ```
+/// use plic3_logic::{Clause, Cnf, Lit, Var};
+/// use plic3_sat::brute_force_sat;
+///
+/// let x = Lit::pos(Var::new(0));
+/// let cnf = Cnf::from_clauses([Clause::unit(x)]);
+/// assert!(brute_force_sat(1, &cnf, &[]).is_some());
+/// assert!(brute_force_sat(1, &cnf, &[!x]).is_none());
+/// ```
+pub fn brute_force_sat(num_vars: usize, cnf: &Cnf, assumptions: &[Lit]) -> Option<Assignment> {
+    assert!(num_vars <= 24, "brute force limited to 24 variables");
+    for bits in 0u64..(1u64 << num_vars) {
+        let assignment = Assignment::from_values(
+            (0..num_vars).map(|i| Some(bits >> i & 1 == 1)).collect(),
+        );
+        if assumptions
+            .iter()
+            .all(|&l| assignment.eval_lit(l) == Some(true))
+            && cnf.eval(&assignment) == Some(true)
+        {
+            return Some(assignment);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plic3_logic::{Clause, Var};
+
+    #[test]
+    fn finds_model_for_satisfiable_formula() {
+        let a = Lit::pos(Var::new(0));
+        let b = Lit::pos(Var::new(1));
+        let cnf = Cnf::from_clauses([Clause::from_lits([a, b]), Clause::from_lits([!a, b])]);
+        let model = brute_force_sat(2, &cnf, &[]).expect("sat");
+        assert_eq!(model.eval_clause(&cnf.clauses()[0]), Some(true));
+        assert_eq!(model.eval_clause(&cnf.clauses()[1]), Some(true));
+    }
+
+    #[test]
+    fn respects_assumptions() {
+        let a = Lit::pos(Var::new(0));
+        let cnf = Cnf::new();
+        let model = brute_force_sat(1, &cnf, &[!a]).expect("sat");
+        assert_eq!(model.eval_lit(a), Some(false));
+    }
+
+    #[test]
+    fn detects_unsat() {
+        let a = Lit::pos(Var::new(0));
+        let cnf = Cnf::from_clauses([Clause::unit(a), Clause::unit(!a)]);
+        assert!(brute_force_sat(1, &cnf, &[]).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "24 variables")]
+    fn refuses_large_spaces() {
+        let _ = brute_force_sat(30, &Cnf::new(), &[]);
+    }
+}

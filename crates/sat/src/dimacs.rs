@@ -1,0 +1,141 @@
+//! A small DIMACS CNF reader, used by tests and the command-line utilities.
+
+use plic3_logic::{Clause, Cnf, Lit};
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by [`parse_dimacs`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseDimacsError {
+    line: usize,
+    message: String,
+}
+
+impl ParseDimacsError {
+    fn new(line: usize, message: impl Into<String>) -> Self {
+        ParseDimacsError {
+            line,
+            message: message.into(),
+        }
+    }
+
+    /// 1-based line number where the error was detected.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+}
+
+impl fmt::Display for ParseDimacsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid DIMACS at line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseDimacsError {}
+
+/// Parses a DIMACS CNF document into a [`Cnf`] and the declared variable count.
+///
+/// The `p cnf <vars> <clauses>` header is optional; comment lines start with
+/// `c`. Clauses may span lines and are terminated by `0`.
+///
+/// # Errors
+///
+/// Returns [`ParseDimacsError`] on malformed headers or non-integer tokens.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), plic3_sat::ParseDimacsError> {
+/// let (num_vars, cnf) = plic3_sat::parse_dimacs("p cnf 2 2\n1 -2 0\n2 0\n")?;
+/// assert_eq!(num_vars, 2);
+/// assert_eq!(cnf.len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_dimacs(input: &str) -> Result<(usize, Cnf), ParseDimacsError> {
+    let mut declared_vars = 0usize;
+    let mut max_var = 0usize;
+    let mut cnf = Cnf::new();
+    let mut current: Vec<Lit> = Vec::new();
+    for (lineno, line) in input.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('c') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('p') {
+            let mut parts = rest.split_whitespace();
+            if parts.next() != Some("cnf") {
+                return Err(ParseDimacsError::new(lineno, "expected 'p cnf' header"));
+            }
+            declared_vars = parts
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| ParseDimacsError::new(lineno, "missing variable count"))?;
+            continue;
+        }
+        for tok in line.split_whitespace() {
+            let value: i64 = tok
+                .parse()
+                .map_err(|_| ParseDimacsError::new(lineno, format!("bad literal '{tok}'")))?;
+            if value == 0 {
+                cnf.push(Clause::from_lits(current.drain(..)));
+            } else {
+                let lit = Lit::from_dimacs(value);
+                max_var = max_var.max(lit.var().index() + 1);
+                current.push(lit);
+            }
+        }
+    }
+    if !current.is_empty() {
+        cnf.push(Clause::from_lits(current));
+    }
+    Ok((declared_vars.max(max_var), cnf))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plic3_logic::Var;
+
+    #[test]
+    fn parses_header_comments_and_clauses() {
+        let text = "c a comment\np cnf 3 2\n1 -3 0\n2 3 0\n";
+        let (vars, cnf) = parse_dimacs(text).expect("valid");
+        assert_eq!(vars, 3);
+        assert_eq!(cnf.len(), 2);
+        assert_eq!(
+            cnf.clauses()[0],
+            Clause::from_lits([Lit::pos(Var::new(0)), Lit::neg(Var::new(2))])
+        );
+    }
+
+    #[test]
+    fn clause_may_span_lines_and_trailing_clause_is_kept() {
+        let text = "1 2\n-3 0\n4 5";
+        let (vars, cnf) = parse_dimacs(text).expect("valid");
+        assert_eq!(cnf.len(), 2);
+        assert_eq!(vars, 5);
+        assert_eq!(cnf.clauses()[0].len(), 3);
+        assert_eq!(cnf.clauses()[1].len(), 2);
+    }
+
+    #[test]
+    fn header_grows_to_actual_max_var() {
+        let (vars, _) = parse_dimacs("p cnf 1 1\n7 0\n").expect("valid");
+        assert_eq!(vars, 7);
+    }
+
+    #[test]
+    fn rejects_garbage_tokens() {
+        let err = parse_dimacs("1 x 0").unwrap_err();
+        assert_eq!(err.line(), 1);
+        assert!(err.to_string().contains("bad literal"));
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        assert!(parse_dimacs("p dnf 2 2").is_err());
+        assert!(parse_dimacs("p cnf").is_err());
+    }
+}

@@ -1,0 +1,1041 @@
+//! The CDCL search engine.
+
+use crate::heap::ActivityHeap;
+use crate::stats::SolverStats;
+use plic3_logic::{Clause, Lit, Var};
+use std::fmt;
+
+/// Result of a [`Solver::solve`] call.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum SatResult {
+    /// A satisfying assignment was found; read it with [`Solver::model_value`].
+    Sat,
+    /// The formula is unsatisfiable under the given assumptions; the subset of
+    /// assumptions used is available from [`Solver::unsat_core`].
+    Unsat,
+    /// The conflict budget was exhausted before a verdict was reached.
+    Unknown,
+}
+
+impl fmt::Display for SatResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SatResult::Sat => write!(f, "sat"),
+            SatResult::Unsat => write!(f, "unsat"),
+            SatResult::Unknown => write!(f, "unknown"),
+        }
+    }
+}
+
+/// Tuning knobs for the CDCL search.
+///
+/// The defaults follow MiniSat 2.2 and are what the IC3 engine uses; they are
+/// exposed so the benchmark harness can run ablations on the SAT backend.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SolverConfig {
+    /// Multiplicative decay applied to variable activities after each conflict.
+    pub var_decay: f64,
+    /// Multiplicative decay applied to clause activities after each conflict.
+    pub clause_decay: f64,
+    /// Base (first) restart interval in conflicts; later intervals follow the
+    /// Luby sequence scaled by this value.
+    pub restart_base: u64,
+    /// Start reducing the learnt-clause database once it exceeds this many
+    /// clauses plus one third of the number of original clauses.
+    pub max_learnts_base: usize,
+    /// Default polarity a variable is assigned when it is picked as a decision
+    /// and has never been assigned before.
+    pub default_polarity: bool,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        SolverConfig {
+            var_decay: 0.95,
+            clause_decay: 0.999,
+            restart_base: 100,
+            max_learnts_base: 8000,
+            default_polarity: false,
+        }
+    }
+}
+
+/// Reference to a clause in the arena.
+type ClauseRef = u32;
+
+const NO_REASON: u32 = u32::MAX;
+
+#[derive(Clone, Debug)]
+struct ClauseData {
+    lits: Vec<Lit>,
+    learnt: bool,
+    deleted: bool,
+    activity: f64,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Watcher {
+    cref: ClauseRef,
+    blocker: Lit,
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct VarData {
+    level: u32,
+    reason: u32,
+}
+
+/// An incremental CDCL SAT solver with assumptions and assumption cores.
+///
+/// See the [crate-level documentation](crate) for an example. Clauses may only
+/// be added between `solve` calls (the solver returns to decision level zero
+/// after every call).
+pub struct Solver {
+    config: SolverConfig,
+    // Clause arena.
+    clauses: Vec<ClauseData>,
+    learnts: Vec<ClauseRef>,
+    // Watch lists indexed by literal code.
+    watches: Vec<Vec<Watcher>>,
+    // Assignment state.
+    assigns: Vec<Option<bool>>,
+    vardata: Vec<VarData>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    // Decision heuristic.
+    activity: Vec<f64>,
+    var_inc: f64,
+    order_heap: ActivityHeap,
+    polarity: Vec<bool>,
+    // Clause activity.
+    cla_inc: f64,
+    // Conflict analysis scratch.
+    seen: Vec<bool>,
+    // Solver status.
+    ok: bool,
+    assumptions: Vec<Lit>,
+    conflict_core: Vec<Lit>,
+    model: Vec<Option<bool>>,
+    conflict_budget: Option<u64>,
+    stats: SolverStats,
+}
+
+impl Default for Solver {
+    fn default() -> Self {
+        Solver::new()
+    }
+}
+
+impl fmt::Debug for Solver {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Solver")
+            .field("num_vars", &self.num_vars())
+            .field("num_clauses", &self.clauses.len())
+            .field("ok", &self.ok)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl Solver {
+    /// Creates an empty solver with default configuration.
+    pub fn new() -> Self {
+        Solver::with_config(SolverConfig::default())
+    }
+
+    /// Creates an empty solver with the given configuration.
+    pub fn with_config(config: SolverConfig) -> Self {
+        Solver {
+            config,
+            clauses: Vec::new(),
+            learnts: Vec::new(),
+            watches: Vec::new(),
+            assigns: Vec::new(),
+            vardata: Vec::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            activity: Vec::new(),
+            var_inc: 1.0,
+            order_heap: ActivityHeap::new(),
+            polarity: Vec::new(),
+            cla_inc: 1.0,
+            seen: Vec::new(),
+            ok: true,
+            assumptions: Vec::new(),
+            conflict_core: Vec::new(),
+            model: Vec::new(),
+            conflict_budget: None,
+            stats: SolverStats::new(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Variables and clauses
+    // ------------------------------------------------------------------
+
+    /// Allocates a fresh variable and returns it.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var::new(self.assigns.len() as u32);
+        self.assigns.push(None);
+        self.vardata.push(VarData {
+            level: 0,
+            reason: NO_REASON,
+        });
+        self.activity.push(0.0);
+        self.polarity.push(self.config.default_polarity);
+        self.seen.push(false);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.order_heap.grow_to(self.assigns.len());
+        self.order_heap.insert(v.index(), &self.activity);
+        v
+    }
+
+    /// Ensures that variables `0..n` exist.
+    pub fn ensure_vars(&mut self, n: usize) {
+        while self.num_vars() < n {
+            self.new_var();
+        }
+    }
+
+    /// Ensures that `var` exists.
+    pub fn ensure_var(&mut self, var: Var) {
+        self.ensure_vars(var.index() + 1);
+    }
+
+    /// Number of variables known to the solver.
+    pub fn num_vars(&self) -> usize {
+        self.assigns.len()
+    }
+
+    /// Number of problem (non-learnt, non-deleted) clauses.
+    pub fn num_clauses(&self) -> usize {
+        self.clauses
+            .iter()
+            .filter(|c| !c.learnt && !c.deleted)
+            .count()
+    }
+
+    /// Returns `false` if the clause database is already known to be
+    /// unsatisfiable at the top level.
+    pub fn is_ok(&self) -> bool {
+        self.ok
+    }
+
+    /// Returns solver statistics collected so far.
+    pub fn stats(&self) -> &SolverStats {
+        &self.stats
+    }
+
+    /// Limits the number of conflicts a single [`Solver::solve`] call may use;
+    /// `None` removes the limit. When the budget is exhausted `solve` returns
+    /// [`SatResult::Unknown`].
+    pub fn set_conflict_budget(&mut self, budget: Option<u64>) {
+        self.conflict_budget = budget;
+    }
+
+    /// Adds a clause given as an iterator of literals.
+    ///
+    /// Returns `false` if the clause database became unsatisfiable at the top
+    /// level (in which case future `solve` calls return `Unsat` immediately).
+    ///
+    /// Variables mentioned by the clause are created on demand.
+    pub fn add_clause<I: IntoIterator<Item = Lit>>(&mut self, lits: I) -> bool {
+        debug_assert_eq!(self.decision_level(), 0, "clauses are added at level 0");
+        if !self.ok {
+            return false;
+        }
+        let mut lits: Vec<Lit> = lits.into_iter().collect();
+        if let Some(max) = lits.iter().map(|l| l.var().index()).max() {
+            self.ensure_vars(max + 1);
+        }
+        lits.sort_unstable();
+        lits.dedup();
+        // Tautology or satisfied at level 0: nothing to do.
+        let mut simplified = Vec::with_capacity(lits.len());
+        let mut prev: Option<Lit> = None;
+        for &l in &lits {
+            if let Some(p) = prev {
+                if p.var() == l.var() {
+                    // p and l are the two polarities of the same var: tautology.
+                    return true;
+                }
+            }
+            prev = Some(l);
+            match self.lit_value(l) {
+                Some(true) => return true,
+                Some(false) => {
+                    // Only drop literals that are false at level 0.
+                    if self.vardata[l.var().index()].level == 0 {
+                        continue;
+                    }
+                    simplified.push(l);
+                }
+                None => simplified.push(l),
+            }
+        }
+        let lits = simplified;
+        self.stats.original_clauses += 1;
+        match lits.len() {
+            0 => {
+                self.ok = false;
+                false
+            }
+            1 => {
+                self.unchecked_enqueue(lits[0], NO_REASON);
+                self.ok = self.propagate().is_none();
+                self.ok
+            }
+            _ => {
+                self.attach_new_clause(lits, false);
+                true
+            }
+        }
+    }
+
+    /// Adds a [`Clause`] by reference. See [`Solver::add_clause`].
+    pub fn add_clause_ref(&mut self, clause: &Clause) -> bool {
+        self.add_clause(clause.iter())
+    }
+
+    fn attach_new_clause(&mut self, lits: Vec<Lit>, learnt: bool) -> ClauseRef {
+        debug_assert!(lits.len() >= 2);
+        let cref = self.clauses.len() as ClauseRef;
+        self.watches[(!lits[0]).code()].push(Watcher {
+            cref,
+            blocker: lits[1],
+        });
+        self.watches[(!lits[1]).code()].push(Watcher {
+            cref,
+            blocker: lits[0],
+        });
+        self.clauses.push(ClauseData {
+            lits,
+            learnt,
+            deleted: false,
+            activity: 0.0,
+        });
+        if learnt {
+            self.learnts.push(cref);
+            self.stats.learnt_clauses += 1;
+        }
+        cref
+    }
+
+    fn detach_clause(&mut self, cref: ClauseRef) {
+        let (w0, w1) = {
+            let c = &self.clauses[cref as usize];
+            ((!c.lits[0]).code(), (!c.lits[1]).code())
+        };
+        self.watches[w0].retain(|w| w.cref != cref);
+        self.watches[w1].retain(|w| w.cref != cref);
+        self.clauses[cref as usize].deleted = true;
+    }
+
+    // ------------------------------------------------------------------
+    // Values and models
+    // ------------------------------------------------------------------
+
+    fn lit_value(&self, lit: Lit) -> Option<bool> {
+        self.assigns[lit.var().index()].map(|v| if lit.is_pos() { v } else { !v })
+    }
+
+    /// The value of `var` in the most recent satisfying model, if any.
+    ///
+    /// Returns `None` for variables the model leaves unconstrained or when the
+    /// last call was not `Sat`.
+    pub fn model_value(&self, var: Var) -> Option<bool> {
+        self.model.get(var.index()).copied().flatten()
+    }
+
+    /// The value of `lit` in the most recent satisfying model, if any.
+    pub fn model_value_lit(&self, lit: Lit) -> Option<bool> {
+        self.model_value(lit.var())
+            .map(|v| if lit.is_pos() { v } else { !v })
+    }
+
+    /// The subset of the last `solve` call's assumptions that were used to
+    /// derive unsatisfiability (only meaningful after [`SatResult::Unsat`]).
+    ///
+    /// The conjunction of these assumption literals together with the clause
+    /// database is unsatisfiable.
+    pub fn unsat_core(&self) -> &[Lit] {
+        &self.conflict_core
+    }
+
+    /// Returns `true` if `lit` is in the unsat core of the last `solve` call.
+    pub fn core_contains(&self, lit: Lit) -> bool {
+        self.conflict_core.contains(&lit)
+    }
+
+    // ------------------------------------------------------------------
+    // Trail management
+    // ------------------------------------------------------------------
+
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    fn new_decision_level(&mut self) {
+        self.trail_lim.push(self.trail.len());
+    }
+
+    fn unchecked_enqueue(&mut self, lit: Lit, reason: u32) {
+        debug_assert!(self.lit_value(lit).is_none());
+        let v = lit.var().index();
+        self.assigns[v] = Some(lit.asserted_value());
+        self.vardata[v] = VarData {
+            level: self.decision_level(),
+            reason,
+        };
+        self.trail.push(lit);
+    }
+
+    fn cancel_until(&mut self, level: u32) {
+        if self.decision_level() <= level {
+            return;
+        }
+        let target = self.trail_lim[level as usize];
+        for i in (target..self.trail.len()).rev() {
+            let lit = self.trail[i];
+            let v = lit.var().index();
+            self.polarity[v] = lit.asserted_value();
+            self.assigns[v] = None;
+            self.vardata[v].reason = NO_REASON;
+            self.order_heap.insert(v, &self.activity);
+        }
+        self.trail.truncate(target);
+        self.trail_lim.truncate(level as usize);
+        self.qhead = self.trail.len();
+    }
+
+    // ------------------------------------------------------------------
+    // Propagation
+    // ------------------------------------------------------------------
+
+    fn propagate(&mut self) -> Option<ClauseRef> {
+        let mut conflict = None;
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.stats.propagations += 1;
+            let false_lit = !p;
+            // Clauses watching ¬p (which just became false) must be inspected;
+            // by the attach convention they live in the list indexed by `p`.
+            let mut ws = std::mem::take(&mut self.watches[p.code()]);
+            let mut kept = 0;
+            let mut i = 0;
+            'watchers: while i < ws.len() {
+                let w = ws[i];
+                i += 1;
+                // Fast path: blocker already true.
+                if self.lit_value(w.blocker) == Some(true) {
+                    ws[kept] = w;
+                    kept += 1;
+                    continue;
+                }
+                let cref = w.cref;
+                // Normalize so that lits[1] is the falsified watch.
+                let first;
+                {
+                    let c = &mut self.clauses[cref as usize];
+                    debug_assert!(!c.deleted);
+                    if c.lits[0] == false_lit {
+                        c.lits.swap(0, 1);
+                    }
+                    debug_assert_eq!(c.lits[1], false_lit);
+                    first = c.lits[0];
+                }
+                if first != w.blocker && self.lit_value(first) == Some(true) {
+                    ws[kept] = Watcher {
+                        cref,
+                        blocker: first,
+                    };
+                    kept += 1;
+                    continue;
+                }
+                // Look for a new literal to watch.
+                let clause_len = self.clauses[cref as usize].lits.len();
+                for k in 2..clause_len {
+                    let lk = self.clauses[cref as usize].lits[k];
+                    if self.lit_value(lk) != Some(false) {
+                        let c = &mut self.clauses[cref as usize];
+                        c.lits.swap(1, k);
+                        let new_watch = c.lits[1];
+                        self.watches[(!new_watch).code()].push(Watcher {
+                            cref,
+                            blocker: first,
+                        });
+                        continue 'watchers;
+                    }
+                }
+                // No new watch: clause is unit or conflicting.
+                ws[kept] = Watcher {
+                    cref,
+                    blocker: first,
+                };
+                kept += 1;
+                if self.lit_value(first) == Some(false) {
+                    // Conflict: keep the remaining watchers and stop.
+                    while i < ws.len() {
+                        ws[kept] = ws[i];
+                        kept += 1;
+                        i += 1;
+                    }
+                    conflict = Some(cref);
+                    self.qhead = self.trail.len();
+                } else {
+                    self.unchecked_enqueue(first, cref);
+                }
+            }
+            ws.truncate(kept);
+            self.watches[p.code()] = ws;
+            if conflict.is_some() {
+                break;
+            }
+        }
+        conflict
+    }
+
+    // ------------------------------------------------------------------
+    // Conflict analysis
+    // ------------------------------------------------------------------
+
+    fn analyze(&mut self, confl: ClauseRef) -> (Vec<Lit>, u32) {
+        let mut learnt: Vec<Lit> = vec![Lit::pos(Var::new(0))]; // placeholder for the UIP
+        let mut path_c: u32 = 0;
+        let mut p: Option<Lit> = None;
+        let mut index = self.trail.len();
+        let mut confl = confl;
+        loop {
+            {
+                if self.clauses[confl as usize].learnt {
+                    self.bump_clause_activity(confl);
+                }
+                let start = usize::from(p.is_some());
+                let lits = self.clauses[confl as usize].lits.clone();
+                for &q in &lits[start..] {
+                    let v = q.var().index();
+                    if !self.seen[v] && self.vardata[v].level > 0 {
+                        self.bump_var_activity(q.var());
+                        self.seen[v] = true;
+                        if self.vardata[v].level >= self.decision_level() {
+                            path_c += 1;
+                        } else {
+                            learnt.push(q);
+                        }
+                    }
+                }
+            }
+            // Select the next literal on the trail to resolve on.
+            loop {
+                index -= 1;
+                if self.seen[self.trail[index].var().index()] {
+                    break;
+                }
+            }
+            let pl = self.trail[index];
+            self.seen[pl.var().index()] = false;
+            path_c -= 1;
+            p = Some(pl);
+            if path_c == 0 {
+                learnt[0] = !pl;
+                break;
+            }
+            confl = self.vardata[pl.var().index()].reason;
+            debug_assert_ne!(confl, NO_REASON);
+        }
+
+        // Basic clause minimization: drop literals implied by the rest.
+        let to_clear = learnt.clone();
+        let mut minimized = vec![learnt[0]];
+        for &l in &learnt[1..] {
+            if !self.literal_is_redundant(l) {
+                minimized.push(l);
+            }
+        }
+        let mut learnt = minimized;
+
+        // Clear the seen flags of every literal touched, including the ones that
+        // minimization removed.
+        for &l in &to_clear {
+            self.seen[l.var().index()] = false;
+        }
+
+        // Compute backtrack level and move the second-highest-level literal to
+        // position 1 so that it is watched after the backjump.
+        let bt_level = if learnt.len() == 1 {
+            0
+        } else {
+            let mut max_i = 1;
+            for i in 2..learnt.len() {
+                if self.vardata[learnt[i].var().index()].level
+                    > self.vardata[learnt[max_i].var().index()].level
+                {
+                    max_i = i;
+                }
+            }
+            learnt.swap(1, max_i);
+            self.vardata[learnt[1].var().index()].level
+        };
+        (learnt, bt_level)
+    }
+
+    /// Returns `true` if the literal's reason clause is entirely made of seen or
+    /// level-0 literals, i.e. it can be removed from the learnt clause.
+    fn literal_is_redundant(&self, lit: Lit) -> bool {
+        let reason = self.vardata[lit.var().index()].reason;
+        if reason == NO_REASON {
+            return false;
+        }
+        let c = &self.clauses[reason as usize];
+        c.lits[1..].iter().all(|&q| {
+            let v = q.var().index();
+            self.seen[v] || self.vardata[v].level == 0
+        })
+    }
+
+    /// Computes the assumption core after a conflict with assumption literal `p`
+    /// (i.e. `¬p` is implied by the clause database and earlier assumptions).
+    fn analyze_final(&mut self, p: Lit) {
+        self.conflict_core.clear();
+        self.conflict_core.push(p);
+        if self.decision_level() == 0 {
+            return;
+        }
+        self.seen[p.var().index()] = true;
+        for i in (self.trail_lim[0]..self.trail.len()).rev() {
+            let lit = self.trail[i];
+            let v = lit.var().index();
+            if !self.seen[v] {
+                continue;
+            }
+            let reason = self.vardata[v].reason;
+            if reason == NO_REASON {
+                debug_assert!(self.vardata[v].level > 0);
+                // A decision: under assumptions, every decision below the
+                // assumption levels is an assumption literal.
+                if lit != p {
+                    self.conflict_core.push(lit);
+                }
+            } else {
+                let lits = self.clauses[reason as usize].lits.clone();
+                for &q in &lits[1..] {
+                    if self.vardata[q.var().index()].level > 0 {
+                        self.seen[q.var().index()] = true;
+                    }
+                }
+            }
+            self.seen[v] = false;
+        }
+        self.seen[p.var().index()] = false;
+        // Keep only literals that are actual assumptions of this call (decisions
+        // above the assumption prefix can never appear, but be defensive).
+        let assumptions = &self.assumptions;
+        self.conflict_core.retain(|l| assumptions.contains(l));
+        self.conflict_core.sort_unstable();
+        self.conflict_core.dedup();
+    }
+
+    // ------------------------------------------------------------------
+    // Activities
+    // ------------------------------------------------------------------
+
+    fn bump_var_activity(&mut self, var: Var) {
+        let v = var.index();
+        self.activity[v] += self.var_inc;
+        if self.activity[v] > 1e100 {
+            for a in self.activity.iter_mut() {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+            self.order_heap.rebuild(&self.activity);
+        }
+        self.order_heap.bumped(v, &self.activity);
+    }
+
+    fn decay_var_activity(&mut self) {
+        self.var_inc /= self.config.var_decay;
+    }
+
+    fn bump_clause_activity(&mut self, cref: ClauseRef) {
+        let c = &mut self.clauses[cref as usize];
+        c.activity += self.cla_inc;
+        if c.activity > 1e20 {
+            for &lc in &self.learnts {
+                self.clauses[lc as usize].activity *= 1e-20;
+            }
+            self.cla_inc *= 1e-20;
+        }
+    }
+
+    fn decay_clause_activity(&mut self) {
+        self.cla_inc /= self.config.clause_decay;
+    }
+
+    // ------------------------------------------------------------------
+    // Learnt-clause database reduction
+    // ------------------------------------------------------------------
+
+    fn clause_is_locked(&self, cref: ClauseRef) -> bool {
+        let c = &self.clauses[cref as usize];
+        let first = c.lits[0];
+        self.lit_value(first) == Some(true)
+            && self.vardata[first.var().index()].reason == cref
+    }
+
+    fn reduce_db(&mut self) {
+        let mut learnts = std::mem::take(&mut self.learnts);
+        learnts.retain(|&c| !self.clauses[c as usize].deleted);
+        learnts.sort_by(|&a, &b| {
+            self.clauses[a as usize]
+                .activity
+                .partial_cmp(&self.clauses[b as usize].activity)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let target = learnts.len() / 2;
+        let mut removed = 0;
+        let mut kept = Vec::with_capacity(learnts.len());
+        for (i, &cref) in learnts.iter().enumerate() {
+            let removable = i < target
+                && self.clauses[cref as usize].lits.len() > 2
+                && !self.clause_is_locked(cref);
+            if removable {
+                self.detach_clause(cref);
+                removed += 1;
+            } else {
+                kept.push(cref);
+            }
+        }
+        self.stats.removed_clauses += removed;
+        self.stats.learnt_clauses = kept.len() as u64;
+        self.learnts = kept;
+    }
+
+    // ------------------------------------------------------------------
+    // Search
+    // ------------------------------------------------------------------
+
+    fn pick_branch_lit(&mut self) -> Option<Lit> {
+        loop {
+            let v = self.order_heap.pop_max(&self.activity)?;
+            if self.assigns[v].is_none() {
+                let var = Var::new(v as u32);
+                return Some(Lit::new(var, self.polarity[v]));
+            }
+        }
+    }
+
+    fn search(&mut self, nof_conflicts: u64, total_conflicts_start: u64) -> Option<bool> {
+        let mut conflict_count: u64 = 0;
+        loop {
+            if let Some(confl) = self.propagate() {
+                self.stats.conflicts += 1;
+                conflict_count += 1;
+                if self.decision_level() == 0 {
+                    self.ok = false;
+                    self.conflict_core.clear();
+                    return Some(false);
+                }
+                let (learnt, bt_level) = self.analyze(confl);
+                self.cancel_until(bt_level);
+                if learnt.len() == 1 {
+                    self.unchecked_enqueue(learnt[0], NO_REASON);
+                } else {
+                    let first = learnt[0];
+                    let cref = self.attach_new_clause(learnt, true);
+                    self.bump_clause_activity(cref);
+                    self.unchecked_enqueue(first, cref);
+                }
+                self.decay_var_activity();
+                self.decay_clause_activity();
+            } else {
+                // No conflict.
+                if conflict_count >= nof_conflicts {
+                    self.cancel_until(0);
+                    return None;
+                }
+                if let Some(budget) = self.conflict_budget {
+                    if self.stats.conflicts - total_conflicts_start >= budget {
+                        self.cancel_until(0);
+                        return None;
+                    }
+                }
+                let limit =
+                    self.config.max_learnts_base + self.stats.original_clauses as usize / 3;
+                if self.learnts.len() > limit {
+                    self.reduce_db();
+                }
+                // Make sure all assumptions are decided first.
+                let mut next: Option<Lit> = None;
+                while (self.decision_level() as usize) < self.assumptions.len() {
+                    let p = self.assumptions[self.decision_level() as usize];
+                    match self.lit_value(p) {
+                        Some(true) => self.new_decision_level(),
+                        Some(false) => {
+                            self.analyze_final(p);
+                            return Some(false);
+                        }
+                        None => {
+                            next = Some(p);
+                            break;
+                        }
+                    }
+                }
+                let decision = match next {
+                    Some(p) => p,
+                    None => match self.pick_branch_lit() {
+                        Some(l) => {
+                            self.stats.decisions += 1;
+                            l
+                        }
+                        None => return Some(true),
+                    },
+                };
+                self.new_decision_level();
+                self.unchecked_enqueue(decision, NO_REASON);
+            }
+        }
+    }
+
+    /// Decides the satisfiability of the clause database under `assumptions`.
+    ///
+    /// After [`SatResult::Sat`], the model is available through
+    /// [`Solver::model_value`]. After [`SatResult::Unsat`],
+    /// [`Solver::unsat_core`] returns the subset of assumptions that was used.
+    /// [`SatResult::Unknown`] is only returned when a conflict budget is set.
+    pub fn solve(&mut self, assumptions: &[Lit]) -> SatResult {
+        self.stats.solves += 1;
+        self.model.clear();
+        self.conflict_core.clear();
+        if !self.ok {
+            return SatResult::Unsat;
+        }
+        for l in assumptions {
+            assert!(
+                l.var().index() < self.num_vars(),
+                "assumption over unknown variable {}",
+                l.var()
+            );
+        }
+        self.assumptions = assumptions.to_vec();
+        let start_conflicts = self.stats.conflicts;
+        let result;
+        let mut restarts = 0u32;
+        loop {
+            let interval = luby(2.0, restarts) * self.config.restart_base as f64;
+            match self.search(interval as u64, start_conflicts) {
+                Some(true) => {
+                    self.model = self.assigns.clone();
+                    result = SatResult::Sat;
+                    break;
+                }
+                Some(false) => {
+                    result = SatResult::Unsat;
+                    break;
+                }
+                None => {
+                    self.stats.restarts += 1;
+                    restarts += 1;
+                    if let Some(budget) = self.conflict_budget {
+                        if self.stats.conflicts - start_conflicts >= budget {
+                            result = SatResult::Unknown;
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        self.cancel_until(0);
+        self.assumptions.clear();
+        result
+    }
+}
+
+/// The Luby restart sequence scaled by `y`: 1, 1, 2, 1, 1, 2, 4, …
+fn luby(y: f64, mut x: u32) -> f64 {
+    let mut size = 1u64;
+    let mut seq = 0u32;
+    while size < (x as u64) + 1 {
+        seq += 1;
+        size = 2 * size + 1;
+    }
+    while size - 1 != x as u64 {
+        size = (size - 1) >> 1;
+        seq -= 1;
+        x %= size as u32;
+    }
+    y.powi(seq as i32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(v: u32, pos: bool) -> Lit {
+        Lit::new(Var::new(v), pos)
+    }
+
+    #[test]
+    fn luby_sequence_prefix() {
+        let seq: Vec<f64> = (0..9).map(|i| luby(2.0, i)).collect();
+        assert_eq!(seq, vec![1.0, 1.0, 2.0, 1.0, 1.0, 2.0, 4.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn empty_formula_is_sat() {
+        let mut s = Solver::new();
+        assert_eq!(s.solve(&[]), SatResult::Sat);
+    }
+
+    #[test]
+    fn unit_clauses_propagate() {
+        let mut s = Solver::new();
+        let a = Lit::pos(s.new_var());
+        let b = Lit::pos(s.new_var());
+        assert!(s.add_clause([a]));
+        assert!(s.add_clause([!a, b]));
+        assert_eq!(s.solve(&[]), SatResult::Sat);
+        assert_eq!(s.model_value_lit(a), Some(true));
+        assert_eq!(s.model_value_lit(b), Some(true));
+    }
+
+    #[test]
+    fn contradictory_units_are_unsat() {
+        let mut s = Solver::new();
+        let a = Lit::pos(s.new_var());
+        assert!(s.add_clause([a]));
+        assert!(!s.add_clause([!a]));
+        assert!(!s.is_ok());
+        assert_eq!(s.solve(&[]), SatResult::Unsat);
+    }
+
+    #[test]
+    fn simple_unsat_core() {
+        let mut s = Solver::new();
+        let a = Lit::pos(s.new_var());
+        let b = Lit::pos(s.new_var());
+        let c = Lit::pos(s.new_var());
+        s.add_clause([!a, b]);
+        // Assume a and ¬b: contradiction needs exactly those two; c is irrelevant.
+        assert_eq!(s.solve(&[a, !b, c]), SatResult::Unsat);
+        let core = s.unsat_core().to_vec();
+        assert!(core.contains(&a) || core.contains(&!b));
+        assert!(!core.contains(&c));
+        // The core must itself be sufficient for unsatisfiability.
+        assert_eq!(s.solve(&core), SatResult::Unsat);
+    }
+
+    #[test]
+    fn solve_is_incremental() {
+        let mut s = Solver::new();
+        let a = Lit::pos(s.new_var());
+        let b = Lit::pos(s.new_var());
+        s.add_clause([a, b]);
+        assert_eq!(s.solve(&[!a]), SatResult::Sat);
+        assert_eq!(s.model_value_lit(b), Some(true));
+        s.add_clause([!b]);
+        assert_eq!(s.solve(&[!a]), SatResult::Unsat);
+        assert_eq!(s.solve(&[]), SatResult::Sat);
+        assert_eq!(s.model_value_lit(a), Some(true));
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_is_unsat() {
+        // 3 pigeons, 2 holes: var p_{i,j} = pigeon i in hole j.
+        let mut s = Solver::new();
+        let var = |i: u32, j: u32| Lit::pos(Var::new(i * 2 + j));
+        s.ensure_vars(6);
+        for i in 0..3 {
+            s.add_clause([var(i, 0), var(i, 1)]);
+        }
+        for j in 0..2 {
+            for i1 in 0..3 {
+                for i2 in (i1 + 1)..3 {
+                    s.add_clause([!var(i1, j), !var(i2, j)]);
+                }
+            }
+        }
+        assert_eq!(s.solve(&[]), SatResult::Unsat);
+    }
+
+    #[test]
+    fn conflict_budget_returns_unknown() {
+        // A hard-ish pigeonhole instance with a tiny conflict budget.
+        let mut s = Solver::new();
+        let n = 7u32; // pigeons
+        let m = 6u32; // holes
+        let var = |i: u32, j: u32| Lit::pos(Var::new(i * m + j));
+        s.ensure_vars((n * m) as usize);
+        for i in 0..n {
+            s.add_clause((0..m).map(|j| var(i, j)));
+        }
+        for j in 0..m {
+            for i1 in 0..n {
+                for i2 in (i1 + 1)..n {
+                    s.add_clause([!var(i1, j), !var(i2, j)]);
+                }
+            }
+        }
+        s.set_conflict_budget(Some(5));
+        assert_eq!(s.solve(&[]), SatResult::Unknown);
+        s.set_conflict_budget(None);
+        assert_eq!(s.solve(&[]), SatResult::Unsat);
+    }
+
+    #[test]
+    fn model_respects_all_clauses() {
+        let mut s = Solver::new();
+        // Random-ish 3-CNF with a known satisfying assignment: all true.
+        s.ensure_vars(6);
+        let clauses: Vec<Vec<Lit>> = vec![
+            vec![lit(0, true), lit(1, false), lit(2, true)],
+            vec![lit(3, true), lit(4, true)],
+            vec![lit(0, false), lit(5, true)],
+            vec![lit(2, true), lit(4, false), lit(5, true)],
+        ];
+        for c in &clauses {
+            s.add_clause(c.iter().copied());
+        }
+        assert_eq!(s.solve(&[]), SatResult::Sat);
+        for c in &clauses {
+            assert!(
+                c.iter().any(|&l| s.model_value_lit(l) == Some(true)),
+                "clause {c:?} not satisfied"
+            );
+        }
+    }
+
+    #[test]
+    fn assumptions_drive_the_model() {
+        let mut s = Solver::new();
+        let a = Lit::pos(s.new_var());
+        let b = Lit::pos(s.new_var());
+        s.add_clause([a, b]);
+        assert_eq!(s.solve(&[!b]), SatResult::Sat);
+        assert_eq!(s.model_value_lit(a), Some(true));
+        assert_eq!(s.model_value_lit(b), Some(false));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown variable")]
+    fn assumption_over_unknown_var_panics() {
+        let mut s = Solver::new();
+        let _ = s.solve(&[lit(3, true)]);
+    }
+
+    #[test]
+    fn stats_are_updated() {
+        let mut s = Solver::new();
+        let a = Lit::pos(s.new_var());
+        let b = Lit::pos(s.new_var());
+        s.add_clause([a, b]);
+        s.add_clause([!a, b]);
+        s.add_clause([a, !b]);
+        let _ = s.solve(&[]);
+        assert_eq!(s.stats().solves, 1);
+        assert_eq!(s.stats().original_clauses, 3);
+    }
+}

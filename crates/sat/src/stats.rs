@@ -1,0 +1,96 @@
+//! Solver statistics.
+
+use std::fmt;
+
+/// Counters describing the work a [`crate::Solver`] has done so far.
+///
+/// The IC3 engine aggregates these per-frame-solver counters into the
+/// experiment statistics reported by the harness.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Number of `solve` calls.
+    pub solves: u64,
+    /// Number of conflicts encountered.
+    pub conflicts: u64,
+    /// Number of decisions made.
+    pub decisions: u64,
+    /// Number of literal propagations.
+    pub propagations: u64,
+    /// Number of restarts performed.
+    pub restarts: u64,
+    /// Number of learnt clauses currently in the database.
+    pub learnt_clauses: u64,
+    /// Number of learnt clauses removed by database reduction.
+    pub removed_clauses: u64,
+    /// Number of problem (non-learnt) clauses added.
+    pub original_clauses: u64,
+}
+
+impl SolverStats {
+    /// Creates zeroed statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds the counters of `other` into `self` (used to aggregate over the
+    /// per-frame solvers of IC3).
+    pub fn merge(&mut self, other: &SolverStats) {
+        self.solves += other.solves;
+        self.conflicts += other.conflicts;
+        self.decisions += other.decisions;
+        self.propagations += other.propagations;
+        self.restarts += other.restarts;
+        self.learnt_clauses += other.learnt_clauses;
+        self.removed_clauses += other.removed_clauses;
+        self.original_clauses += other.original_clauses;
+    }
+}
+
+impl fmt::Display for SolverStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "solves={} conflicts={} decisions={} propagations={} restarts={} learnt={} removed={} original={}",
+            self.solves,
+            self.conflicts,
+            self.decisions,
+            self.propagations,
+            self.restarts,
+            self.learnt_clauses,
+            self.removed_clauses,
+            self.original_clauses
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_counters() {
+        let mut a = SolverStats {
+            solves: 1,
+            conflicts: 2,
+            decisions: 3,
+            propagations: 4,
+            restarts: 5,
+            learnt_clauses: 6,
+            removed_clauses: 7,
+            original_clauses: 8,
+        };
+        let b = a;
+        a.merge(&b);
+        assert_eq!(a.solves, 2);
+        assert_eq!(a.conflicts, 4);
+        assert_eq!(a.original_clauses, 16);
+    }
+
+    #[test]
+    fn display_mentions_all_counters() {
+        let s = SolverStats::new().to_string();
+        for key in ["solves", "conflicts", "decisions", "propagations", "restarts"] {
+            assert!(s.contains(key), "missing {key} in {s}");
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Differential testing of the CDCL solver against the exhaustive reference
+//! solver on random small formulas, with and without assumptions, including
+//! incremental use and unsat-core checks.
+
+use plic3_logic::{Clause, Cnf, Lit, Var};
+use plic3_sat::{brute_force_sat, SatResult, Solver};
+use proptest::prelude::*;
+
+const MAX_VAR: u32 = 10;
+
+fn arb_lit() -> impl Strategy<Value = Lit> {
+    (0..MAX_VAR, any::<bool>()).prop_map(|(v, pos)| Lit::new(Var::new(v), pos))
+}
+
+fn arb_clause() -> impl Strategy<Value = Clause> {
+    prop::collection::vec(arb_lit(), 1..5).prop_map(Clause::from_lits)
+}
+
+fn arb_cnf() -> impl Strategy<Value = Cnf> {
+    prop::collection::vec(arb_clause(), 0..30).prop_map(Cnf::from_clauses)
+}
+
+fn arb_assumptions() -> impl Strategy<Value = Vec<Lit>> {
+    prop::collection::btree_map(0..MAX_VAR, any::<bool>(), 0..4)
+        .prop_map(|m| m.into_iter().map(|(v, p)| Lit::new(Var::new(v), p)).collect())
+}
+
+fn load(cnf: &Cnf) -> Solver {
+    let mut solver = Solver::new();
+    solver.ensure_vars(MAX_VAR as usize);
+    for clause in cnf {
+        solver.add_clause_ref(clause);
+    }
+    solver
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn agrees_with_brute_force(cnf in arb_cnf()) {
+        let mut solver = load(&cnf);
+        let expected = brute_force_sat(MAX_VAR as usize, &cnf, &[]).is_some();
+        let got = solver.solve(&[]);
+        prop_assert_eq!(got, if expected { SatResult::Sat } else { SatResult::Unsat });
+        if got == SatResult::Sat {
+            // The reported model must satisfy every clause.
+            for clause in &cnf {
+                prop_assert!(
+                    clause.iter().any(|l| solver.model_value_lit(l) == Some(true)),
+                    "model does not satisfy {}", clause
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn agrees_with_brute_force_under_assumptions(
+        cnf in arb_cnf(),
+        assumptions in arb_assumptions(),
+    ) {
+        let mut solver = load(&cnf);
+        let expected = brute_force_sat(MAX_VAR as usize, &cnf, &assumptions).is_some();
+        let got = solver.solve(&assumptions);
+        prop_assert_eq!(got, if expected { SatResult::Sat } else { SatResult::Unsat });
+        if got == SatResult::Sat {
+            for &a in &assumptions {
+                prop_assert_eq!(solver.model_value_lit(a), Some(true));
+            }
+        } else {
+            // The unsat core must be a subset of the assumptions and itself
+            // sufficient for unsatisfiability.
+            let core: Vec<Lit> = solver.unsat_core().to_vec();
+            for l in &core {
+                prop_assert!(assumptions.contains(l));
+            }
+            prop_assert!(brute_force_sat(MAX_VAR as usize, &cnf, &core).is_none(),
+                "core {:?} is not sufficient for unsat", core);
+        }
+    }
+
+    #[test]
+    fn incremental_solving_matches_monolithic(
+        cnf1 in arb_cnf(),
+        cnf2 in arb_cnf(),
+        assumptions in arb_assumptions(),
+    ) {
+        // Solve cnf1, then add cnf2 and solve again: the second answer must match
+        // a fresh solver on cnf1 ∧ cnf2.
+        let mut solver = load(&cnf1);
+        let _ = solver.solve(&[]);
+        for clause in &cnf2 {
+            solver.add_clause_ref(clause);
+        }
+        let combined: Cnf = cnf1.iter().chain(cnf2.iter()).cloned().collect();
+        let expected = brute_force_sat(MAX_VAR as usize, &combined, &assumptions).is_some();
+        let got = solver.solve(&assumptions);
+        prop_assert_eq!(got, if expected { SatResult::Sat } else { SatResult::Unsat });
+    }
+
+    #[test]
+    fn repeated_solves_are_consistent(cnf in arb_cnf(), assumptions in arb_assumptions()) {
+        // Solving twice with the same assumptions must give the same verdict
+        // (exercises trail cleanup / phase saving interactions).
+        let mut solver = load(&cnf);
+        let first = solver.solve(&assumptions);
+        let second = solver.solve(&assumptions);
+        prop_assert_eq!(first, second);
+        // And an unconstrained solve afterwards agrees with brute force.
+        let expected = brute_force_sat(MAX_VAR as usize, &cnf, &[]).is_some();
+        let third = solver.solve(&[]);
+        prop_assert_eq!(third, if expected { SatResult::Sat } else { SatResult::Unsat });
+    }
+}

@@ -1,0 +1,348 @@
+//! Counterexample traces.
+
+use crate::TransitionSystem;
+use plic3_aig::{Aig, Simulator};
+use plic3_logic::{Cube, Lit};
+use std::fmt;
+
+/// A finite execution of a [`TransitionSystem`] demonstrating a property
+/// violation: a sequence of states (cubes over the current-state variables) and
+/// the input valuations used to move between them.
+///
+/// `states[0]` is an initial state, `states.last()` is a bad state, and for
+/// each step `i` the inputs `inputs[i]` drive the system from `states[i]` to
+/// `states[i + 1]`. States and inputs may be partial cubes (variables the SAT
+/// solver left unconstrained are absent); [`Trace::replay_on_aig`] fills the
+/// gaps with `false` when replaying.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct Trace {
+    states: Vec<Cube>,
+    inputs: Vec<Cube>,
+}
+
+impl Trace {
+    /// Creates a trace from state and input sequences.
+    ///
+    /// A trace over `k` transition steps has `k + 1` states and either `k` input
+    /// valuations (one per transition) or `k + 1` (the extra final valuation is
+    /// the one under which the bad literal is observed in the last state, for
+    /// properties that also depend on primary inputs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths do not satisfy the relation above (the empty trace
+    /// is allowed).
+    pub fn new(states: Vec<Cube>, inputs: Vec<Cube>) -> Self {
+        if !(states.is_empty() && inputs.is_empty()) {
+            assert!(
+                inputs.len() + 1 == states.len() || inputs.len() == states.len(),
+                "a trace over k steps has k+1 states and k or k+1 input valuations"
+            );
+        }
+        Trace { states, inputs }
+    }
+
+    /// The state sequence.
+    pub fn states(&self) -> &[Cube] {
+        &self.states
+    }
+
+    /// The input sequence.
+    pub fn inputs(&self) -> &[Cube] {
+        &self.inputs
+    }
+
+    /// Number of transition steps (states minus one).
+    pub fn len(&self) -> usize {
+        self.states.len().saturating_sub(1)
+    }
+
+    /// Returns `true` for the empty trace.
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// Converts the trace into per-step input vectors over the *original AIG*
+    /// input ordering (inputs outside the cone of influence default to `false`).
+    pub fn aig_input_vectors(&self, ts: &TransitionSystem) -> Vec<Vec<bool>> {
+        self.inputs
+            .iter()
+            .map(|cube| {
+                let mut frame = vec![false; ts.aig_num_inputs()];
+                for i in 0..ts.num_inputs() {
+                    let var = ts.input_var(i);
+                    if let Some(value) = cube.value_of(var) {
+                        frame[ts.aig_input_index(i)] = value;
+                    }
+                }
+                frame
+            })
+            .collect()
+    }
+
+    /// The initial AIG latch valuation implied by the first state of the trace
+    /// (latches outside the cone of influence take their reset value, defaulting
+    /// to `false`).
+    pub fn aig_initial_state(&self, ts: &TransitionSystem, aig: &Aig) -> Vec<bool> {
+        let mut state: Vec<bool> = aig
+            .latches()
+            .iter()
+            .map(|l| l.init.unwrap_or(false))
+            .collect();
+        if let Some(first) = self.states.first() {
+            for i in 0..ts.num_latches() {
+                if let Some(value) = first.value_of(ts.latch_var(i)) {
+                    state[ts.aig_latch_index(i)] = value;
+                }
+            }
+        }
+        state
+    }
+
+    /// Replays the trace on the original circuit and returns `true` if it indeed
+    /// reaches a bad state (with all invariant constraints holding on the way).
+    ///
+    /// This is the end-to-end validation used by the engines before reporting
+    /// `Unsafe`.
+    pub fn replay_on_aig(&self, ts: &TransitionSystem, aig: &Aig) -> bool {
+        if self.states.is_empty() {
+            return false;
+        }
+        let initial = self.aig_initial_state(ts, aig);
+        let mut sim = Simulator::from_state(aig, initial);
+        // The bad literal is observed when stepping *from* the final state; if
+        // the trace does not carry an explicit observation input frame, append
+        // an all-false one.
+        let mut frames = self.aig_input_vectors(ts);
+        if frames.len() < self.states.len() {
+            frames.push(vec![false; ts.aig_num_inputs()]);
+        }
+        sim.run_reaches_bad(&frames)
+    }
+
+    /// Returns the states as pretty-printed strings (for reports and debugging).
+    pub fn render(&self, ts: &TransitionSystem) -> String {
+        let mut out = String::new();
+        for (i, state) in self.states.iter().enumerate() {
+            let bits: String = (0..ts.num_latches())
+                .map(|l| match state.value_of(ts.latch_var(l)) {
+                    Some(true) => '1',
+                    Some(false) => '0',
+                    None => 'x',
+                })
+                .collect();
+            out.push_str(&format!("state {i}: {bits}\n"));
+            if let Some(inputs) = self.inputs.get(i) {
+                let bits: String = (0..ts.num_inputs())
+                    .map(|j| match inputs.value_of(ts.input_var(j)) {
+                        Some(true) => '1',
+                        Some(false) => '0',
+                        None => 'x',
+                    })
+                    .collect();
+                out.push_str(&format!("input {i}: {bits}\n"));
+            }
+        }
+        out
+    }
+
+    /// Builds a one-state trace from an initial bad state.
+    pub fn single_state(state: Cube) -> Self {
+        Trace {
+            states: vec![state],
+            inputs: Vec::new(),
+        }
+    }
+
+    /// Appends a step at the *front* of the trace (used when reconstructing a
+    /// counterexample from IC3 proof obligations, which are discovered from the
+    /// bad end backwards).
+    pub fn push_front(&mut self, state: Cube, inputs: Cube) {
+        self.states.insert(0, state);
+        self.inputs.insert(0, inputs);
+    }
+
+    /// Appends a step at the end of the trace.
+    pub fn push_back(&mut self, inputs: Cube, state: Cube) {
+        self.inputs.push(inputs);
+        self.states.push(state);
+    }
+
+    /// Restricts every state cube to the latch variables (dropping any stray
+    /// literals a SAT model may have contributed) — a defensive normalization
+    /// used before replaying.
+    pub fn normalized(&self, ts: &TransitionSystem) -> Trace {
+        let keep_state = |cube: &Cube| -> Cube {
+            cube.iter()
+                .filter(|l| ts.is_latch_var(l.var()))
+                .collect()
+        };
+        let keep_input = |cube: &Cube| -> Cube {
+            cube.iter()
+                .filter(|l| ts.is_input_var(l.var()))
+                .collect()
+        };
+        Trace {
+            states: self.states.iter().map(keep_state).collect(),
+            inputs: self.inputs.iter().map(keep_input).collect(),
+        }
+    }
+
+    /// Convenience constructor used in tests: a trace over explicit latch bit
+    /// patterns and input bit patterns.
+    pub fn from_bits(
+        ts: &TransitionSystem,
+        states: &[&[bool]],
+        inputs: &[&[bool]],
+    ) -> Self {
+        let states = states
+            .iter()
+            .map(|bits| {
+                Cube::from_lits(
+                    bits.iter()
+                        .enumerate()
+                        .map(|(i, &b)| Lit::new(ts.latch_var(i), b)),
+                )
+            })
+            .collect();
+        let inputs = inputs
+            .iter()
+            .map(|bits| {
+                Cube::from_lits(
+                    bits.iter()
+                        .enumerate()
+                        .map(|(i, &b)| Lit::new(ts.input_var(i), b)),
+                )
+            })
+            .collect();
+        Trace::new(states, inputs)
+    }
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace with {} steps", self.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plic3_aig::AigBuilder;
+
+    fn counter_aig() -> Aig {
+        let mut b = AigBuilder::new();
+        let en = b.input();
+        let bits = b.latches(2, Some(false));
+        let inc = b.vec_increment(&bits);
+        for (s, n) in bits.iter().zip(&inc) {
+            let nxt = b.ite(en, *n, *s);
+            b.set_latch_next(*s, nxt);
+        }
+        let bad = b.vec_equals_const(&bits, 3);
+        b.add_bad(bad);
+        b.build()
+    }
+
+    #[test]
+    fn valid_trace_replays_successfully() {
+        let aig = counter_aig();
+        let ts = TransitionSystem::from_aig(&aig);
+        // 00 --en--> 01 --en--> 10 --en--> 11 (bad)
+        let trace = Trace::from_bits(
+            &ts,
+            &[
+                &[false, false],
+                &[true, false],
+                &[false, true],
+                &[true, true],
+            ],
+            &[&[true], &[true], &[true]],
+        );
+        assert_eq!(trace.len(), 3);
+        assert!(trace.replay_on_aig(&ts, &aig));
+    }
+
+    #[test]
+    fn invalid_trace_fails_replay() {
+        let aig = counter_aig();
+        let ts = TransitionSystem::from_aig(&aig);
+        // Inputs never enable the counter: never reaches 11.
+        let trace = Trace::from_bits(
+            &ts,
+            &[&[false, false], &[false, false]],
+            &[&[false]],
+        );
+        assert!(!trace.replay_on_aig(&ts, &aig));
+        assert!(!Trace::default().replay_on_aig(&ts, &aig));
+    }
+
+    #[test]
+    #[should_panic(expected = "k+1 states")]
+    fn mismatched_lengths_panic() {
+        let _ = Trace::new(vec![Cube::top()], vec![Cube::top(), Cube::top(), Cube::top()]);
+    }
+
+    #[test]
+    fn push_front_builds_backwards() {
+        let aig = counter_aig();
+        let ts = TransitionSystem::from_aig(&aig);
+        let s = |bits: &[bool]| {
+            Cube::from_lits(
+                bits.iter()
+                    .enumerate()
+                    .map(|(i, &b)| Lit::new(ts.latch_var(i), b)),
+            )
+        };
+        let input_on = Cube::from_lits([Lit::pos(ts.input_var(0))]);
+        let mut trace = Trace::single_state(s(&[true, true]));
+        trace.push_front(s(&[false, true]), input_on.clone());
+        trace.push_front(s(&[true, false]), input_on.clone());
+        trace.push_front(s(&[false, false]), input_on.clone());
+        assert_eq!(trace.len(), 3);
+        assert!(trace.replay_on_aig(&ts, &aig));
+    }
+
+    #[test]
+    fn normalization_drops_foreign_literals() {
+        let aig = counter_aig();
+        let ts = TransitionSystem::from_aig(&aig);
+        let messy_state = Cube::from_lits([
+            Lit::pos(ts.latch_var(0)),
+            Lit::pos(ts.input_var(0)),
+            Lit::pos(ts.primed_var(1)),
+        ]);
+        let trace = Trace::single_state(messy_state);
+        let clean = trace.normalized(&ts);
+        assert_eq!(clean.states()[0].len(), 1);
+        assert!(clean.states()[0].contains(Lit::pos(ts.latch_var(0))));
+    }
+
+    #[test]
+    fn render_and_display() {
+        let aig = counter_aig();
+        let ts = TransitionSystem::from_aig(&aig);
+        let trace = Trace::from_bits(&ts, &[&[false, false], &[true, false]], &[&[true]]);
+        let text = trace.render(&ts);
+        assert!(text.contains("state 0: 00"));
+        assert!(text.contains("input 0: 1"));
+        assert!(text.contains("state 1: 10"));
+        assert_eq!(trace.to_string(), "trace with 1 steps");
+    }
+
+    #[test]
+    fn partial_cubes_default_to_reset_values() {
+        let aig = counter_aig();
+        let ts = TransitionSystem::from_aig(&aig);
+        // States mention only the bits that matter; missing input literals mean
+        // "any value", which the replay resolves to false.
+        let trace = Trace::new(
+            vec![Cube::top(), Cube::from_lits([Lit::pos(ts.latch_var(0))])],
+            vec![Cube::from_lits([Lit::pos(ts.input_var(0))])],
+        );
+        let initial = trace.aig_initial_state(&ts, &aig);
+        assert_eq!(initial, vec![false, false]);
+        let frames = trace.aig_input_vectors(&ts);
+        assert_eq!(frames, vec![vec![true]]);
+    }
+}

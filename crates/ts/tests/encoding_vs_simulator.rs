@@ -1,0 +1,177 @@
+//! Differential property test: the Tseitin-encoded transition relation must
+//! agree, transition by transition, with the cycle-accurate AIG simulator on
+//! randomly generated circuits.
+
+use plic3_aig::{AigBuilder, AigLit, Simulator};
+use plic3_logic::Lit;
+use plic3_sat::{SatResult, Solver};
+use plic3_ts::TransitionSystem;
+use proptest::prelude::*;
+
+/// A reproducible random circuit description: gate operands are indices into
+/// the pool of already-available nodes.
+#[derive(Clone, Debug)]
+struct CircuitSpec {
+    inputs: usize,
+    /// (operand index, negate, operand index, negate) per gate.
+    gates: Vec<(usize, bool, usize, bool)>,
+    /// Next-state selector per latch: index into the pool, plus negation.
+    nexts: Vec<(usize, bool)>,
+    /// Bad literal selector.
+    bad: (usize, bool),
+    init: Vec<bool>,
+}
+
+fn arb_spec() -> impl Strategy<Value = CircuitSpec> {
+    (2usize..5, 1usize..3, 0usize..12).prop_flat_map(|(latches, inputs, num_gates)| {
+        let pool0 = 1 + latches + inputs; // constant + latches + inputs
+        let gates = prop::collection::vec(
+            (0usize..pool0 + num_gates, any::<bool>(), 0usize..pool0 + num_gates, any::<bool>()),
+            num_gates,
+        );
+        let nexts = prop::collection::vec((0usize..pool0 + num_gates, any::<bool>()), latches);
+        let bad = (0usize..pool0 + num_gates, any::<bool>());
+        let init = prop::collection::vec(any::<bool>(), latches);
+        (Just(inputs), gates, nexts, bad, init).prop_map(
+            |(inputs, gates, nexts, bad, init)| CircuitSpec {
+                inputs,
+                gates,
+                nexts,
+                bad,
+                init,
+            },
+        )
+    })
+}
+
+/// Materializes a spec into an AIG. Operand indices are clamped to the part of
+/// the pool that already exists, which keeps the construction well-founded.
+fn build(spec: &CircuitSpec) -> plic3_aig::Aig {
+    let mut b = AigBuilder::new();
+    let mut pool: Vec<AigLit> = vec![b.constant_true()];
+    let latches: Vec<AigLit> = spec.init.iter().map(|&v| b.latch(Some(v))).collect();
+    pool.extend(latches.iter().copied());
+    pool.extend(b.inputs(spec.inputs));
+    for &(x, nx, y, ny) in &spec.gates {
+        let a = pool[x % pool.len()].negate_if(nx);
+        let c = pool[y % pool.len()].negate_if(ny);
+        let gate = b.and(a, c);
+        pool.push(gate);
+    }
+    for (latch, &(idx, neg)) in latches.iter().zip(&spec.nexts) {
+        b.set_latch_next(*latch, pool[idx % pool.len()].negate_if(neg));
+    }
+    b.add_bad(pool[spec.bad.0 % pool.len()].negate_if(spec.bad.1));
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// For every random circuit, random starting state, and random input
+    /// sequence, the successor computed by the simulator is the unique
+    /// successor admitted by the CNF transition relation.
+    #[test]
+    fn transition_relation_matches_simulator(
+        spec in arb_spec(),
+        start in prop::collection::vec(any::<bool>(), 8),
+        steps in prop::collection::vec(prop::collection::vec(any::<bool>(), 4), 1..4),
+    ) {
+        let aig = build(&spec);
+        let ts = TransitionSystem::from_aig(&aig);
+        let mut solver = Solver::new();
+        solver.ensure_vars(ts.num_vars());
+        for clause in ts.trans() {
+            solver.add_clause_ref(clause);
+        }
+        // Note: cone-of-influence reduction may drop latches/inputs; drive the
+        // simulator with the full-width vectors and the solver with the
+        // projections onto the kept variables.
+        let full_state: Vec<bool> = (0..aig.num_latches())
+            .map(|i| start.get(i).copied().unwrap_or(false))
+            .collect();
+        let mut sim = Simulator::from_state(&aig, full_state.clone());
+        let mut current: Vec<bool> = (0..ts.num_latches())
+            .map(|i| full_state[ts.aig_latch_index(i)])
+            .collect();
+        for frame in &steps {
+            let full_inputs: Vec<bool> = (0..aig.num_inputs())
+                .map(|i| frame.get(i).copied().unwrap_or(false))
+                .collect();
+            sim.step(&full_inputs);
+            let next_full = sim.latch_values().to_vec();
+            let next: Vec<bool> = (0..ts.num_latches())
+                .map(|i| next_full[ts.aig_latch_index(i)])
+                .collect();
+
+            // Assumptions: current state, inputs, and the simulator's successor.
+            let mut assumptions: Vec<Lit> = Vec::new();
+            for (i, &v) in current.iter().enumerate() {
+                assumptions.push(Lit::new(ts.latch_var(i), v));
+            }
+            for i in 0..ts.num_inputs() {
+                assumptions.push(Lit::new(ts.input_var(i), full_inputs[ts.aig_input_index(i)]));
+            }
+            let state_and_inputs = assumptions.clone();
+            for (i, &v) in next.iter().enumerate() {
+                assumptions.push(Lit::new(ts.primed_var(i), v));
+            }
+            prop_assert_eq!(
+                solver.solve(&assumptions),
+                SatResult::Sat,
+                "simulator successor rejected by the transition relation"
+            );
+            // And it is the *only* successor: flipping any single primed bit is
+            // inconsistent with the (deterministic) transition relation.
+            for (i, &v) in next.iter().enumerate() {
+                let mut flipped = state_and_inputs.clone();
+                flipped.push(Lit::new(ts.primed_var(i), !v));
+                prop_assert_eq!(
+                    solver.solve(&flipped),
+                    SatResult::Unsat,
+                    "transition relation admits a second successor"
+                );
+            }
+            current = next;
+        }
+    }
+
+    /// The bad literal of the encoding agrees with the simulator's bad output
+    /// in the very first step.
+    #[test]
+    fn bad_literal_matches_simulator(
+        spec in arb_spec(),
+        start in prop::collection::vec(any::<bool>(), 8),
+        inputs in prop::collection::vec(any::<bool>(), 4),
+    ) {
+        let aig = build(&spec);
+        let ts = TransitionSystem::from_aig(&aig);
+        let full_state: Vec<bool> = (0..aig.num_latches())
+            .map(|i| start.get(i).copied().unwrap_or(false))
+            .collect();
+        let full_inputs: Vec<bool> = (0..aig.num_inputs())
+            .map(|i| inputs.get(i).copied().unwrap_or(false))
+            .collect();
+        let mut sim = Simulator::from_state(&aig, full_state.clone());
+        let observed_bad = sim.step(&full_inputs).any_bad();
+
+        let mut solver = Solver::new();
+        solver.ensure_vars(ts.num_vars());
+        for clause in ts.trans() {
+            solver.add_clause_ref(clause);
+        }
+        let mut assumptions: Vec<Lit> = Vec::new();
+        for i in 0..ts.num_latches() {
+            assumptions.push(Lit::new(ts.latch_var(i), full_state[ts.aig_latch_index(i)]));
+        }
+        for i in 0..ts.num_inputs() {
+            assumptions.push(Lit::new(ts.input_var(i), full_inputs[ts.aig_input_index(i)]));
+        }
+        assumptions.push(if observed_bad { ts.bad_lit() } else { !ts.bad_lit() });
+        prop_assert_eq!(solver.solve(&assumptions), SatResult::Sat);
+        // The opposite polarity must be impossible.
+        *assumptions.last_mut().expect("non-empty") =
+            if observed_bad { !ts.bad_lit() } else { ts.bad_lit() };
+        prop_assert_eq!(solver.solve(&assumptions), SatResult::Unsat);
+    }
+}

@@ -1,0 +1,71 @@
+//! Compare the three engine families of the paper's introduction — IC3 (with
+//! lemma prediction), bounded model checking, and k-induction — on the same
+//! circuits, cross-checking their verdicts.
+//!
+//! Run with `cargo run --release --example compare_engines`.
+
+use plic3_repro::benchmarks::{ExpectedResult, Suite};
+use plic3_repro::bmc::{Bmc, BmcResult, KInduction, KInductionResult};
+use plic3_repro::ic3::{Config, Ic3};
+use std::time::Instant;
+
+const BMC_DEPTH: usize = 30;
+const KIND_DEPTH: usize = 20;
+
+fn main() {
+    let suite = Suite::quick();
+    println!(
+        "{:<28} {:<16} {:<22} {:<22} {:<18}",
+        "benchmark", "expected", "IC3-pl", "BMC", "k-induction"
+    );
+    for bench in &suite {
+        let ts = bench.ts();
+
+        let mut ic3 = Ic3::new(ts.clone(), Config::ric3_like().with_lemma_prediction(true));
+        let started = Instant::now();
+        let ic3_result = ic3.check();
+        let ic3_text = format!("{} ({:.3}s)", ic3_result, started.elapsed().as_secs_f64());
+
+        let mut bmc = Bmc::new(&ts);
+        let started = Instant::now();
+        let bmc_result = bmc.check(BMC_DEPTH);
+        let bmc_text = format!("{} ({:.3}s)", bmc_result, started.elapsed().as_secs_f64());
+
+        let mut kind = KInduction::new(&ts);
+        let started = Instant::now();
+        let kind_result = kind.check(KIND_DEPTH);
+        let kind_text = format!("{} ({:.3}s)", kind_result, started.elapsed().as_secs_f64());
+
+        // Cross-check: engines must never contradict each other or the truth.
+        match bench.expected() {
+            ExpectedResult::Safe => {
+                assert!(ic3_result.is_safe(), "IC3 wrong on {}", bench.name());
+                assert!(!bmc_result.is_unsafe(), "BMC wrong on {}", bench.name());
+                assert!(!kind_result.is_unsafe(), "k-induction wrong on {}", bench.name());
+            }
+            ExpectedResult::Unsafe { .. } => {
+                assert!(ic3_result.is_unsafe(), "IC3 wrong on {}", bench.name());
+                assert!(
+                    matches!(bmc_result, BmcResult::Unsafe { .. }),
+                    "BMC misses the bug in {} within depth {BMC_DEPTH}",
+                    bench.name()
+                );
+                assert!(
+                    matches!(kind_result, KInductionResult::Unsafe { .. }),
+                    "k-induction misses the bug in {}",
+                    bench.name()
+                );
+            }
+        }
+
+        println!(
+            "{:<28} {:<16} {:<22} {:<22} {:<18}",
+            bench.name(),
+            bench.expected().to_string(),
+            ic3_text,
+            bmc_text,
+            kind_text
+        );
+    }
+    println!("\nall verdicts agree with the ground truth");
+}

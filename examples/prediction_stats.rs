@@ -1,0 +1,59 @@
+//! Per-case prediction statistics: reproduce the Table 2 quantities on one
+//! benchmark family and show how prediction changes the work the engine does.
+//!
+//! Usage: `cargo run --release --example prediction_stats -- [family]`
+//! where `family` is one of `counter`, `shift`, `ring`, `arbiter`, `traffic`,
+//! `fifo`, `lock`, `gray` (default: `counter`; the larger `shift` instances
+//! take tens of seconds without `--release`).
+
+use plic3_repro::benchmarks::Suite;
+use plic3_repro::ic3::{Config, Ic3};
+use std::time::Instant;
+
+fn main() {
+    let family = std::env::args().nth(1).unwrap_or_else(|| "counter".to_string());
+    let suite = Suite::hwmcc_like().filter(|b| b.family() == family);
+    if suite.is_empty() {
+        eprintln!("unknown family '{family}'");
+        std::process::exit(2);
+    }
+    println!(
+        "{:<28} {:>9} {:>9} {:>7} {:>7} {:>7} | {:>8} {:>8} {:>8}",
+        "benchmark", "base (s)", "pl (s)", "N_g", "N_p", "N_sp", "SR_lp", "SR_fp", "SR_adv"
+    );
+    for bench in &suite {
+        let mut base = Ic3::new(bench.ts(), Config::ric3_like());
+        let started = Instant::now();
+        let base_result = base.check();
+        let base_time = started.elapsed();
+
+        let mut pl = Ic3::new(bench.ts(), Config::ric3_like().with_lemma_prediction(true));
+        let started = Instant::now();
+        let pl_result = pl.check();
+        let pl_time = started.elapsed();
+
+        assert_eq!(
+            base_result.is_safe(),
+            pl_result.is_safe(),
+            "verdicts must agree on {}",
+            bench.name()
+        );
+        let stats = pl.statistics();
+        let rate = |r: Option<f64>| {
+            r.map(|v| format!("{:>7.2}%", 100.0 * v))
+                .unwrap_or_else(|| "     n/a".to_string())
+        };
+        println!(
+            "{:<28} {:>9.3} {:>9.3} {:>7} {:>7} {:>7} | {} {} {}",
+            bench.name(),
+            base_time.as_secs_f64(),
+            pl_time.as_secs_f64(),
+            stats.generalizations,
+            stats.predictions,
+            stats.successful_predictions,
+            rate(stats.sr_lp()),
+            rate(stats.sr_fp()),
+            rate(stats.sr_adv()),
+        );
+    }
+}
