@@ -193,11 +193,7 @@ impl AigBuilder {
     /// Panics if the slices have different lengths.
     pub fn vec_equals(&mut self, a: &[AigLit], b: &[AigLit]) -> AigLit {
         assert_eq!(a.len(), b.len(), "bit-vector width mismatch");
-        let bits: Vec<AigLit> = a
-            .iter()
-            .zip(b)
-            .map(|(&x, &y)| self.xnor(x, y))
-            .collect();
+        let bits: Vec<AigLit> = a.iter().zip(b).map(|(&x, &y)| self.xnor(x, y)).collect();
         self.and_many(&bits)
     }
 
@@ -271,11 +267,7 @@ impl AigBuilder {
             AigLit::positive(remap[lit.variable() as usize]).negate_if(lit.is_negated())
         };
 
-        let num_inputs = self
-            .kinds
-            .iter()
-            .filter(|k| **k == NodeKind::Input)
-            .count();
+        let num_inputs = self.kinds.iter().filter(|k| **k == NodeKind::Input).count();
         let mut latches = Vec::new();
         let mut ands = Vec::new();
         for (var, kind) in self.kinds.iter().enumerate() {

@@ -52,7 +52,9 @@ impl<'a> Cursor<'a> {
         if self.pos < self.data.len() {
             self.pos += 1; // consume the newline
         }
-        std::str::from_utf8(&self.data[start..end]).ok().map(str::trim_end)
+        std::str::from_utf8(&self.data[start..end])
+            .ok()
+            .map(str::trim_end)
     }
 
     fn read_byte(&mut self) -> Option<u8> {

@@ -14,9 +14,19 @@ pub struct SimStep {
 }
 
 impl SimStep {
-    /// Returns `true` if any bad-state literal was asserted this step.
-    pub fn any_bad(&self) -> bool {
-        self.bad.iter().any(|&b| b)
+    /// Returns `true` if the circuit's *checked property* was violated this
+    /// step: the first bad-state literal when the circuit has any, otherwise
+    /// the first output (the HWMCC convention for AIGER 1.0 files).
+    ///
+    /// This deliberately mirrors [`Aig::property_literal`] — the literal the
+    /// transition-system encoding and the model checkers prove or refute — so
+    /// that replaying an engine trace on the simulator agrees with the engine
+    /// about what counts as "bad".
+    pub fn property_violated(&self) -> bool {
+        match self.bad.first() {
+            Some(&b) => b,
+            None => self.outputs.first().copied().unwrap_or(false),
+        }
     }
 
     /// Returns `true` if every invariant constraint held this step.
@@ -40,8 +50,8 @@ impl SimStep {
 /// b.add_bad(s);
 /// let aig = b.build();
 /// let mut sim = Simulator::new(&aig);
-/// assert!(!sim.step(&[]).any_bad()); // starts at 0
-/// assert!(sim.step(&[]).any_bad());  // toggles to 1
+/// assert!(!sim.step(&[]).property_violated()); // starts at 0
+/// assert!(sim.step(&[]).property_violated());  // toggles to 1
 /// ```
 #[derive(Clone, Debug)]
 pub struct Simulator<'a> {
@@ -124,15 +134,16 @@ impl<'a> Simulator<'a> {
         step
     }
 
-    /// Runs `inputs.len()` steps and returns `true` if a bad literal was asserted
-    /// in any of them while all constraints held up to and including that step.
+    /// Runs `inputs.len()` steps and returns `true` if the checked property
+    /// (see [`SimStep::property_violated`]) was violated in any of them while
+    /// all constraints held up to and including that step.
     pub fn run_reaches_bad(&mut self, inputs: &[Vec<bool>]) -> bool {
         for frame in inputs {
             let step = self.step(frame);
             if !step.constraints_hold() {
                 return false;
             }
-            if step.any_bad() {
+            if step.property_violated() {
                 return true;
             }
         }
@@ -181,7 +192,7 @@ mod tests {
     fn from_state_starts_where_requested() {
         let aig = counter();
         let mut sim = Simulator::from_state(&aig, vec![true, true]);
-        assert!(sim.step(&[false]).any_bad());
+        assert!(sim.step(&[false]).property_violated());
     }
 
     #[test]
@@ -196,8 +207,24 @@ mod tests {
         let aig = counter();
         let mut sim = Simulator::new(&aig);
         let step = sim.step(&[]);
-        assert!(!step.any_bad());
+        assert!(!step.property_violated());
         assert_eq!(sim.latch_values(), &[false, false]);
+    }
+
+    #[test]
+    fn outputs_count_as_bad_for_aiger_1_0_circuits() {
+        // A toggling latch exposed through an *output* (AIGER 1.0 / HWMCC
+        // style, no bad literal): property_violated must track the output so traces on
+        // such circuits replay.
+        let mut b = AigBuilder::new();
+        let l = b.latch(Some(false));
+        b.set_latch_next(l, !l);
+        b.add_output(l);
+        let aig = b.build();
+        assert_eq!(aig.num_bad(), 0);
+        let mut sim = Simulator::new(&aig);
+        assert!(!sim.step(&[]).property_violated());
+        assert!(sim.step(&[]).property_violated());
     }
 
     #[test]
@@ -214,7 +241,7 @@ mod tests {
         assert!(s1.constraints_hold());
         let s2 = sim.step(&[true]);
         assert!(!s2.constraints_hold());
-        assert!(s2.any_bad());
+        assert!(s2.property_violated());
         // run_reaches_bad refuses traces that violate constraints.
         let mut sim = Simulator::new(&aig);
         assert!(!sim.run_reaches_bad(&[vec![true], vec![true]]));

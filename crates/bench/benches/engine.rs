@@ -2,9 +2,9 @@
 //! prediction machinery (the "where does the time go" companion to the
 //! experiment benches).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use plic3::{Config, GeneralizeMode, Ic3};
-use plic3_bench::prediction_showcase;
+use plic3_bench::timing::Criterion;
+use plic3_bench::{criterion_group, criterion_main, prediction_showcase};
 use plic3_bmc::{Bmc, KInduction};
 use plic3_logic::{Lit, Var};
 use plic3_sat::Solver;
@@ -49,8 +49,7 @@ fn bench_ic3_prediction(c: &mut Criterion) {
     });
     group.bench_function("lemma_prediction", |b| {
         b.iter(|| {
-            let mut engine =
-                Ic3::new(bench.ts(), Config::ric3_like().with_lemma_prediction(true));
+            let mut engine = Ic3::new(bench.ts(), Config::ric3_like().with_lemma_prediction(true));
             black_box(engine.check())
         })
     });

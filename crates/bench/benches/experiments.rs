@@ -11,8 +11,8 @@
 //! workload and building the report), so `cargo bench` regenerates every
 //! experiment end to end.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use plic3_bench::{bench_runner, bench_suite, scatter_pairs};
+use plic3_bench::timing::Criterion;
+use plic3_bench::{bench_runner, bench_suite, criterion_group, criterion_main, scatter_pairs};
 use plic3_harness::{ablation, fig2, fig3, fig4, run_experiment, table1, table2, Configuration};
 use std::hint::black_box;
 

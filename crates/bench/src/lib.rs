@@ -1,12 +1,16 @@
-//! Shared fixtures for the Criterion benchmark harness.
+//! Shared fixtures and a dependency-free timing harness for the PLIC3 benches.
 //!
 //! The benches in `benches/` regenerate (scaled-down versions of) every table
 //! and figure of *Predicting Lemmas in Generalization of IC3* (DAC 2024); this
 //! small library provides the workload selections they share so the benches and
-//! the tests agree on what gets measured.
+//! the tests agree on what gets measured, plus [`timing`] — a minimal
+//! Criterion-compatible measurement loop so the workspace stays free of
+//! external dependencies.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod timing;
 
 use plic3_benchmarks::Suite;
 use plic3_harness::{Configuration, RunnerConfig};
@@ -20,6 +24,7 @@ pub fn bench_runner() -> RunnerConfig {
         timeout: Duration::from_secs(5),
         max_conflicts: Some(500_000),
         fast_case_threshold: Duration::ZERO,
+        ..RunnerConfig::default()
     }
 }
 

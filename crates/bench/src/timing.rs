@@ -1,0 +1,160 @@
+//! A minimal, dependency-free stand-in for the slice of the Criterion API the
+//! benches use.
+//!
+//! The workspace deliberately has no external dependencies, so instead of
+//! pulling in Criterion the bench binaries (`harness = false`) drive this
+//! module: [`Criterion::bench_function`] runs the measured closure a fixed
+//! number of times and reports min / median / mean wall-clock times to stdout.
+//! The API mirrors Criterion's (`sample_size`, `benchmark_group`,
+//! [`criterion_group!`](crate::criterion_group) /
+//! [`criterion_main!`](crate::criterion_main)), so swapping the real Criterion
+//! back in later is a one-line import change per bench file.
+
+use std::time::{Duration, Instant};
+
+/// The measurement driver: holds the sample count and renders results.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark collects.
+    pub fn sample_size(mut self, samples: usize) -> Self {
+        self.sample_size = samples.max(1);
+        self
+    }
+
+    /// Measures `f` (which must call [`Bencher::iter`]) and prints a summary
+    /// line for `name`.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        report(name, &mut bencher.samples);
+        self
+    }
+
+    /// Opens a named group; benchmarks inside it are reported as
+    /// `group/benchmark`.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            criterion: self,
+        }
+    }
+}
+
+/// A named collection of related benchmarks (mirrors Criterion's groups).
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Measures `f` under the group-qualified name.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let full = format!("{}/{}", self.name, name);
+        self.criterion.bench_function(&full, f);
+        self
+    }
+
+    /// Finishes the group (a no-op, kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Collects one wall-clock sample per invocation of the measured closure.
+pub struct Bencher {
+    sample_size: usize,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Runs `f` once per sample, timing each run individually.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        for _ in 0..self.sample_size {
+            let started = Instant::now();
+            let value = f();
+            self.samples.push(started.elapsed());
+            drop(value);
+        }
+    }
+}
+
+fn report(name: &str, samples: &mut [Duration]) {
+    if samples.is_empty() {
+        println!("{name:<40} no samples (did the bench call iter()?)");
+        return;
+    }
+    samples.sort_unstable();
+    let min = samples[0];
+    let median = samples[samples.len() / 2];
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    println!(
+        "{name:<40} min {min:>12?}   median {median:>12?}   mean {mean:>12?}   ({} samples)",
+        samples.len()
+    );
+}
+
+/// Declares a bench group function, mirroring Criterion's macro of the same
+/// name: both the `name = …; config = …; targets = …` form and the positional
+/// form are accepted.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::timing::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the `main` of a `harness = false` bench binary, mirroring
+/// Criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_requested_samples() {
+        let mut criterion = Criterion::default().sample_size(3);
+        let mut runs = 0;
+        criterion.bench_function("noop", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 3);
+    }
+
+    #[test]
+    fn groups_share_the_driver_sample_size() {
+        let mut criterion = Criterion::default().sample_size(2);
+        let mut runs = 0;
+        let mut group = criterion.benchmark_group("group");
+        group.bench_function("a", |b| b.iter(|| runs += 1));
+        group.bench_function("b", |b| b.iter(|| runs += 1));
+        group.finish();
+        assert_eq!(runs, 4);
+    }
+}

@@ -137,7 +137,7 @@ mod tests {
         let aig = saturating_counter(3, 5, 7);
         let mut sim = Simulator::new(&aig);
         for _ in 0..10 {
-            assert!(!sim.step(&[]).any_bad());
+            assert!(!sim.step(&[]).property_violated());
         }
         // After saturation the state stays at 5 = 101.
         assert_eq!(sim.latch_values(), &[true, false, true]);
@@ -148,13 +148,13 @@ mod tests {
         let aig = wrapping_counter(3, 5, 6);
         let mut sim = Simulator::new(&aig);
         for _ in 0..12 {
-            assert!(!sim.step(&[]).any_bad());
+            assert!(!sim.step(&[]).property_violated());
         }
         let aig_bad = wrapping_counter(3, 5, 3);
         let mut sim = Simulator::new(&aig_bad);
         let mut reached = false;
         for _ in 0..12 {
-            reached |= sim.step(&[]).any_bad();
+            reached |= sim.step(&[]).property_violated();
         }
         assert!(reached);
     }

@@ -22,11 +22,7 @@ fn fifo(bits: usize, capacity: u64, guarded: bool) -> Aig {
     let count = b.latches(bits, Some(false));
     let full = b.vec_equals_const(&count, capacity);
     let empty = b.vec_equals_const(&count, 0);
-    let push_ok = if guarded {
-        b.and(push, !full)
-    } else {
-        push
-    };
+    let push_ok = if guarded { b.and(push, !full) } else { push };
     let pop_ok = b.and(pop, !empty);
     let up = b.and(push_ok, !pop_ok);
     let down = b.and(pop_ok, !push_ok);
@@ -55,7 +51,15 @@ pub fn fifo_unguarded(bits: usize, capacity: u64) -> Aig {
 /// The parameter sweep for the full suite.
 pub fn instances() -> Vec<Benchmark> {
     let mut out = Vec::new();
-    for (bits, capacity) in [(3usize, 5u64), (4, 9), (4, 12), (5, 20), (5, 27), (6, 45), (6, 58)] {
+    for (bits, capacity) in [
+        (3usize, 5u64),
+        (4, 9),
+        (4, 12),
+        (5, 20),
+        (5, 27),
+        (6, 45),
+        (6, 58),
+    ] {
         out.push(Benchmark::new(
             format!("fifo_guarded_safe_{bits}_{capacity}"),
             FAMILY,

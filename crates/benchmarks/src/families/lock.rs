@@ -20,7 +20,9 @@ fn lock(stages: usize, digit_bits: usize, secret_seed: u64, impossible_stage: bo
     // Secret digit per stage, derived deterministically from the seed.
     let mut matches = Vec::new();
     for stage in 0..stages {
-        let secret = (secret_seed.wrapping_mul(0x9e37_79b9).rotate_left(stage as u32 * 7)
+        let secret = (secret_seed
+            .wrapping_mul(0x9e37_79b9)
+            .rotate_left(stage as u32 * 7)
             >> 3)
             & ((1 << digit_bits) - 1);
         let mut m = b.vec_equals_const(&digit, secret);

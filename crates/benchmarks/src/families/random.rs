@@ -6,8 +6,7 @@
 //! BMC vs k-induction vs the AIG simulator) on inputs nobody hand-crafted.
 
 use plic3_aig::{Aig, AigBuilder, AigLit};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use plic3_logic::SplitMix64;
 
 /// Parameters of a random circuit.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -44,7 +43,7 @@ impl Default for RandomCircuitConfig {
 /// assert!(a.validate().is_ok());
 /// ```
 pub fn random_circuit(seed: u64, config: RandomCircuitConfig) -> Aig {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let mut b = AigBuilder::new();
     let inputs = b.inputs(config.inputs);
     let latches: Vec<AigLit> = (0..config.latches)
@@ -55,7 +54,7 @@ pub fn random_circuit(seed: u64, config: RandomCircuitConfig) -> Aig {
     pool.push(b.constant_true());
     pool.extend(inputs.iter().copied());
     pool.extend(latches.iter().copied());
-    let pick = |rng: &mut StdRng, pool: &[AigLit]| -> AigLit {
+    let pick = |rng: &mut SplitMix64, pool: &[AigLit]| -> AigLit {
         let lit = pool[rng.gen_range(0..pool.len())];
         lit.negate_if(rng.gen_bool(0.5))
     };

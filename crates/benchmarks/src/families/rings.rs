@@ -32,7 +32,11 @@ pub fn token_ring_inject(n: usize) -> Aig {
     let cells: Vec<_> = (0..n).map(|i| b.latch(Some(i == 0))).collect();
     for i in 0..n {
         let rotated = cells[(i + n - 1) % n];
-        let next = if i == 0 { b.or(rotated, inject) } else { rotated };
+        let next = if i == 0 {
+            b.or(rotated, inject)
+        } else {
+            rotated
+        };
         b.set_latch_next(cells[i], next);
     }
     let mut clashes = Vec::new();

@@ -88,7 +88,11 @@ impl Benchmark {
 
 impl fmt::Display for Benchmark {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} [{}] expected {}", self.name, self.family, self.expected)
+        write!(
+            f,
+            "{} [{}] expected {}",
+            self.name, self.family, self.expected
+        )
     }
 }
 
@@ -162,7 +166,12 @@ impl Suite {
     /// Returns a new suite containing only instances satisfying the predicate.
     pub fn filter(&self, mut keep: impl FnMut(&Benchmark) -> bool) -> Suite {
         Suite {
-            benchmarks: self.benchmarks.iter().filter(|b| keep(b)).cloned().collect(),
+            benchmarks: self
+                .benchmarks
+                .iter()
+                .filter(|b| keep(b))
+                .cloned()
+                .collect(),
         }
     }
 
@@ -208,7 +217,11 @@ mod tests {
     #[test]
     fn full_suite_is_large_and_mixed() {
         let suite = Suite::hwmcc_like();
-        assert!(suite.len() >= 80, "suite has only {} instances", suite.len());
+        assert!(
+            suite.len() >= 80,
+            "suite has only {} instances",
+            suite.len()
+        );
         let (safe, unsafe_) = suite.expected_counts();
         assert!(safe >= 30, "too few safe instances: {safe}");
         assert!(unsafe_ >= 30, "too few unsafe instances: {unsafe_}");

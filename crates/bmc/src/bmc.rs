@@ -1,7 +1,7 @@
 //! Incremental bounded model checking.
 
 use plic3_logic::Cube;
-use plic3_sat::{SatResult, Solver};
+use plic3_sat::{SatResult, Solver, StopFlag};
 use plic3_ts::{Trace, TransitionSystem, Unroller};
 use std::fmt;
 
@@ -37,6 +37,18 @@ impl BmcResult {
             _ => None,
         }
     }
+}
+
+/// The outcome of a single-depth query ([`Bmc::check_depth_status`]).
+#[derive(Clone, Debug, PartialEq)]
+pub enum BmcDepthStatus {
+    /// A counterexample of exactly the queried depth exists.
+    Unsafe(Trace),
+    /// The queried depth is proven free of counterexamples.
+    Clean,
+    /// The query was interrupted (conflict budget or stop flag): nothing may
+    /// be concluded about this depth.
+    Unknown,
 }
 
 impl fmt::Display for BmcResult {
@@ -88,6 +100,12 @@ impl<'a> Bmc<'a> {
         self.solver.set_conflict_budget(budget);
     }
 
+    /// Installs a shared cancellation flag; raising it makes the current and
+    /// every future [`Bmc::check`] call return [`BmcResult::Unknown`] promptly.
+    pub fn set_stop_flag(&mut self, stop: StopFlag) {
+        self.solver.set_stop_flag(stop);
+    }
+
     fn load_frame(&mut self, frame: usize) {
         while self.loaded_frames <= frame {
             let k = self.loaded_frames;
@@ -102,14 +120,28 @@ impl<'a> Bmc<'a> {
 
     /// Checks whether a bad state is reachable within exactly `depth` steps.
     ///
-    /// Returns the counterexample trace if so. Depths may be queried in any
-    /// order; the unrolling is extended on demand.
+    /// Returns the counterexample trace if so; `None` means either that no
+    /// depth-`depth` counterexample exists *or* that the query was interrupted
+    /// (conflict budget / stop flag) — use [`Bmc::check_depth_status`] when
+    /// the two must be distinguished. Depths may be queried in any order; the
+    /// unrolling is extended on demand.
     pub fn check_depth(&mut self, depth: usize) -> Option<Trace> {
+        match self.check_depth_status(depth) {
+            BmcDepthStatus::Unsafe(trace) => Some(trace),
+            BmcDepthStatus::Clean | BmcDepthStatus::Unknown => None,
+        }
+    }
+
+    /// [`Bmc::check_depth`] with the interrupted case reported explicitly, so
+    /// callers drawing safety conclusions (k-induction) cannot mistake an
+    /// exhausted budget for an exhaustively checked depth.
+    pub fn check_depth_status(&mut self, depth: usize) -> BmcDepthStatus {
         self.load_frame(depth);
         let assumptions = self.unroller.bad_assumptions_at(depth);
         match self.solver.solve(&assumptions) {
-            SatResult::Sat => Some(self.extract_trace(depth)),
-            _ => None,
+            SatResult::Sat => BmcDepthStatus::Unsafe(self.extract_trace(depth)),
+            SatResult::Unsat => BmcDepthStatus::Clean,
+            SatResult::Unknown => BmcDepthStatus::Unknown,
         }
     }
 
@@ -230,7 +262,10 @@ mod tests {
         match bmc.check(4) {
             BmcResult::Unsafe { trace, depth } => {
                 assert_eq!(depth, 1);
-                assert!(trace.replay_on_aig(&ts, &aig), "observation inputs preserved");
+                assert!(
+                    trace.replay_on_aig(&ts, &aig),
+                    "observation inputs preserved"
+                );
             }
             other => panic!("expected unsafe, got {other}"),
         }

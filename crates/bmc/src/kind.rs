@@ -2,7 +2,7 @@
 
 use crate::Bmc;
 use plic3_logic::Lit;
-use plic3_sat::{SatResult, Solver};
+use plic3_sat::{SatResult, Solver, StopFlag};
 use plic3_ts::{Trace, TransitionSystem, Unroller};
 use std::fmt;
 
@@ -104,6 +104,14 @@ impl<'a> KInduction<'a> {
         self.step_solver.set_conflict_budget(budget);
     }
 
+    /// Installs a shared cancellation flag in both the base-case and the
+    /// step-case solver; raising it makes [`KInduction::check`] return
+    /// [`KInductionResult::Unknown`] promptly.
+    pub fn set_stop_flag(&mut self, stop: StopFlag) {
+        self.bmc.set_stop_flag(stop.clone());
+        self.step_solver.set_stop_flag(stop);
+    }
+
     fn load_step_frame(&mut self, frame: usize) {
         while self.loaded_frames <= frame {
             let k = self.loaded_frames;
@@ -138,8 +146,15 @@ impl<'a> KInduction<'a> {
     /// Runs interleaved base and step cases for `k = 0..=max_k`.
     pub fn check(&mut self, max_k: usize) -> KInductionResult {
         for k in 0..=max_k {
-            if let Some(trace) = self.bmc.check_depth(k) {
-                return KInductionResult::Unsafe { trace, depth: k };
+            // An interrupted base case must surface as Unknown: concluding
+            // Safe from the step case alone would be unsound when depth k was
+            // never exhaustively checked.
+            match self.bmc.check_depth_status(k) {
+                crate::BmcDepthStatus::Unsafe(trace) => {
+                    return KInductionResult::Unsafe { trace, depth: k }
+                }
+                crate::BmcDepthStatus::Clean => {}
+                crate::BmcDepthStatus::Unknown => return KInductionResult::Unknown { bound: k },
             }
             match self.step_case_holds(k) {
                 Some(true) => return KInductionResult::Safe { k },
@@ -204,6 +219,31 @@ mod tests {
     }
 
     #[test]
+    fn interrupted_base_case_reports_unknown_not_safe() {
+        // An *unsafe* circuit (counter reaches 5) whose base-case queries are
+        // starved by a zero conflict budget: the step case may well hold, but
+        // concluding Safe would be unsound — the verdict must be Unknown.
+        let mut b = AigBuilder::new();
+        let state = b.latches(3, Some(false));
+        let inc = b.vec_increment(&state);
+        for (s, n) in state.iter().zip(&inc) {
+            b.set_latch_next(*s, *n);
+        }
+        let bad = b.vec_equals_const(&state, 5);
+        b.add_bad(bad);
+        let ts = TransitionSystem::from_aig(&b.build());
+        let mut kind = KInduction::new(&ts);
+        kind.set_conflict_budget(Some(0));
+        match kind.check(10) {
+            KInductionResult::Unknown { .. } => {}
+            other => panic!("starved base case must yield unknown, got {other}"),
+        }
+        // Lifting the budget finds the genuine counterexample.
+        kind.set_conflict_budget(None);
+        assert!(kind.check(10).is_unsafe());
+    }
+
+    #[test]
     fn reports_unknown_when_not_inductive_within_bound() {
         // A wrap-around counter with an unreachable bad value is safe but not
         // k-inductive for small k without simple-path constraints.
@@ -225,7 +265,10 @@ mod tests {
 
     #[test]
     fn display_formats() {
-        assert_eq!(KInductionResult::Safe { k: 3 }.to_string(), "safe (3-inductive)");
+        assert_eq!(
+            KInductionResult::Safe { k: 3 }.to_string(),
+            "safe (3-inductive)"
+        );
         assert_eq!(
             KInductionResult::Unknown { bound: 7 }.to_string(),
             "unknown up to k=7"

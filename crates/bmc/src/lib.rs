@@ -33,5 +33,5 @@
 mod bmc;
 mod kind;
 
-pub use bmc::{Bmc, BmcResult};
+pub use bmc::{Bmc, BmcDepthStatus, BmcResult};
 pub use kind::{KInduction, KInductionResult};

@@ -1,5 +1,6 @@
 //! Configuration of the IC3 engine.
 
+use plic3_sat::StopFlag;
 use std::time::Duration;
 
 /// How blocked cubes are generalized into lemmas.
@@ -60,7 +61,7 @@ pub struct Limits {
 /// let cfg = Config::ric3_like().with_lemma_prediction(true);
 /// assert!(cfg.lemma_prediction);
 /// ```
-#[derive(Clone, Copy, PartialEq, Debug)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct Config {
     /// Enable the paper's CTP-based lemma prediction (Algorithm 2).
     pub lemma_prediction: bool,
@@ -81,6 +82,11 @@ pub struct Config {
     pub solver_rebuild_threshold: usize,
     /// Resource budgets.
     pub limits: Limits,
+    /// Shared cooperative-cancellation flag, polled between and *inside* SAT
+    /// queries. Raising it (typically from a portfolio runner's watchdog
+    /// thread) makes [`crate::Ic3::check`] return
+    /// [`crate::CheckResult::Unknown`] promptly.
+    pub stop: StopFlag,
 }
 
 impl Default for Config {
@@ -105,6 +111,7 @@ impl Config {
             shrink_predicted: false,
             solver_rebuild_threshold: 256,
             limits: Limits::default(),
+            stop: StopFlag::new(),
         }
     }
 
@@ -173,6 +180,15 @@ impl Config {
         self.ordering = ordering;
         self
     }
+
+    /// Returns a copy wired to the given cancellation flag.
+    ///
+    /// The flag is shared: raising it from any clone (e.g. a watchdog thread)
+    /// interrupts the engine owning this configuration.
+    pub fn with_stop_flag(mut self, stop: StopFlag) -> Self {
+        self.stop = stop;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -182,7 +198,11 @@ mod tests {
     #[test]
     fn presets_differ_in_the_documented_ways() {
         assert!(!Config::ric3_like().lemma_prediction);
-        assert!(Config::ric3_like().with_lemma_prediction(true).lemma_prediction);
+        assert!(
+            Config::ric3_like()
+                .with_lemma_prediction(true)
+                .lemma_prediction
+        );
         assert_eq!(Config::ic3ref_like().generalize, GeneralizeMode::Mic);
         assert_eq!(Config::cav23_like().ordering, LiteralOrdering::ParentGuided);
         assert!(matches!(

@@ -28,6 +28,9 @@ pub(crate) enum SolveRelative {
         /// primed variables of the model) — the state `t` of the paper.
         successor: Cube,
     },
+    /// The query was interrupted (stop flag raised or solver budget hit)
+    /// before a verdict; the caller must bail out without drawing conclusions.
+    Aborted,
 }
 
 enum BlockOutcome {
@@ -138,6 +141,7 @@ impl Ic3 {
 
     fn make_lift_solver(&self) -> Solver {
         let mut solver = Solver::new();
+        solver.set_stop_flag(self.config.stop.clone());
         solver.ensure_vars(self.ts.num_vars());
         for clause in self.ts.trans() {
             solver.add_clause_ref(clause);
@@ -147,6 +151,7 @@ impl Ic3 {
 
     fn make_frame_solver(&self, level: usize) -> FrameSolver {
         let mut solver = Solver::new();
+        solver.set_stop_flag(self.config.stop.clone());
         solver.ensure_vars(self.ts.num_vars());
         for clause in self.ts.trans() {
             solver.add_clause_ref(clause);
@@ -246,7 +251,7 @@ impl Ic3 {
                 };
                 SolveRelative::Inductive { core }
             }
-            SatResult::Sat | SatResult::Unknown => {
+            SatResult::Sat => {
                 let solver = &frame_solver.solver;
                 SolveRelative::Cti {
                     predecessor: ts.state_cube_from(|v| solver.model_value(v)),
@@ -254,6 +259,8 @@ impl Ic3 {
                     successor: ts.next_state_cube_from(|v| solver.model_value(v)),
                 }
             }
+            // No model exists to read CTI cubes from; surface the interruption.
+            SatResult::Unknown => SolveRelative::Aborted,
         };
         if let Some(act) = activation {
             frame_solver.solver.add_clause([!act]);
@@ -298,10 +305,7 @@ impl Ic3 {
         let result = self.lift_solver.solve(&assumptions);
         let lifted = if result == SatResult::Unsat {
             let solver = &self.lift_solver;
-            let lifted: Cube = state
-                .iter()
-                .filter(|&l| solver.core_contains(l))
-                .collect();
+            let lifted: Cube = state.iter().filter(|&l| solver.core_contains(l)).collect();
             if lifted.is_empty() {
                 state.clone()
             } else {
@@ -326,6 +330,9 @@ impl Ic3 {
     }
 
     fn check_limits(&self) -> Option<UnknownReason> {
+        if self.config.stop.is_stopped() {
+            return Some(UnknownReason::Cancelled);
+        }
         if let Some(max) = self.config.limits.max_time {
             if self.start.elapsed() >= max {
                 return Some(UnknownReason::Timeout);
@@ -386,8 +393,17 @@ impl Ic3 {
                         limit @ BlockOutcome::LimitReached(_) => return limit,
                     }
                 }
+                SolveRelative::Aborted => {
+                    return BlockOutcome::LimitReached(self.interruption_reason());
+                }
             }
         }
+    }
+
+    /// The reason to report when a SAT query came back interrupted: whichever
+    /// limit fired, or a cancellation when the stop flag was raised directly.
+    fn interruption_reason(&self) -> UnknownReason {
+        self.check_limits().unwrap_or(UnknownReason::Cancelled)
     }
 
     /// Pushes the generalized lemma forward as far as it stays relatively
@@ -404,6 +420,8 @@ impl Ic3 {
                     self.stats.push_failures_recorded += 1;
                     break;
                 }
+                // Stop pushing; the enclosing phase notices the interruption.
+                SolveRelative::Aborted => break,
             }
         }
         level
@@ -438,6 +456,7 @@ impl Ic3 {
                         self.failure_push.insert((cube.clone(), level), successor);
                         self.stats.push_failures_recorded += 1;
                     }
+                    SolveRelative::Aborted => return Err(self.interruption_reason()),
                 }
             }
             if self.frames.is_fixpoint_at(level) {
@@ -446,10 +465,7 @@ impl Ic3 {
                     .cubes_at_or_above(level + 1)
                     .map(Cube::negate)
                     .collect();
-                return Ok(Some(Certificate {
-                    lemmas,
-                    level,
-                }));
+                return Ok(Some(Certificate { lemmas, level }));
             }
         }
         Ok(None)
@@ -555,9 +571,7 @@ mod tests {
     /// is unreachable from the one-hot initial state.
     fn token_ring_aig(n: usize) -> Aig {
         let mut b = AigBuilder::new();
-        let cells: Vec<_> = (0..n)
-            .map(|i| b.latch(Some(i == 0)))
-            .collect();
+        let cells: Vec<_> = (0..n).map(|i| b.latch(Some(i == 0))).collect();
         for i in 0..n {
             let prev = cells[(i + n - 1) % n];
             b.set_latch_next(cells[i], prev);
@@ -692,6 +706,42 @@ mod tests {
     }
 
     #[test]
+    fn pre_raised_stop_flag_cancels_immediately() {
+        let aig = token_ring_aig(8);
+        let stop = crate::StopFlag::new();
+        stop.stop();
+        let config = Config::ric3_like().with_stop_flag(stop);
+        let (result, _) = check_with(&aig, config);
+        assert_eq!(result, CheckResult::Unknown(UnknownReason::Cancelled));
+    }
+
+    #[test]
+    fn stop_flag_raised_from_another_thread_interrupts_the_run() {
+        // A ring large enough that the proof takes visible time; the raiser
+        // fires shortly after the run starts. Either the engine is interrupted
+        // (the expected outcome) or it legitimately finished first — both are
+        // sound; what must never happen is an unverifiable verdict.
+        let aig = token_ring_aig(12);
+        let stop = crate::StopFlag::new();
+        let raiser = stop.clone();
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            raiser.stop();
+        });
+        let config = Config::ric3_like().with_stop_flag(stop);
+        let mut engine = Ic3::from_aig(&aig, config);
+        let result = engine.check();
+        handle.join().expect("raiser thread");
+        match result {
+            CheckResult::Unknown(UnknownReason::Cancelled) => {}
+            CheckResult::Safe(cert) => {
+                verify_certificate(engine.ts(), &cert).expect("finished proofs still verify");
+            }
+            other => panic!("cancellation produced {other}"),
+        }
+    }
+
+    #[test]
     fn statistics_track_prediction_counters() {
         let aig = token_ring_aig(6);
         let mut engine = Ic3::from_aig(&aig, Config::ric3_like().with_lemma_prediction(true));
@@ -728,8 +778,8 @@ mod tests {
             Config::pdr_like(),
         ];
         for (aig, expect_safe) in &circuits {
-            for config in configs {
-                let (result, ts) = check_with(aig, config);
+            for config in &configs {
+                let (result, ts) = check_with(aig, config.clone());
                 assert_eq!(
                     result.is_safe(),
                     *expect_safe,

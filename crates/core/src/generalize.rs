@@ -99,6 +99,9 @@ impl Ic3 {
                     }
                     cube = joined;
                 }
+                // Keep the dropped literal; the enclosing blocking phase will
+                // observe the interruption on its next query.
+                SolveRelative::Aborted => return None,
             }
         }
     }
@@ -181,11 +184,7 @@ mod tests {
         let mut engine = Ic3::from_aig(&aig, config);
         let result = engine.check();
         let cert = result.certificate().expect("safe");
-        let avg_len: f64 = cert
-            .lemmas
-            .iter()
-            .map(|c| c.len() as f64)
-            .sum::<f64>()
+        let avg_len: f64 = cert.lemmas.iter().map(|c| c.len() as f64).sum::<f64>()
             / cert.lemmas.len().max(1) as f64;
         assert!(
             avg_len < 4.0,

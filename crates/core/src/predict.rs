@@ -54,6 +54,7 @@ impl Ic3 {
                         // Line 20: remember the new CTP for later attempts.
                         self.failure_push.insert(key, successor);
                     }
+                    SolveRelative::Aborted => return None,
                 }
             } else {
                 // Lines 22–27: grow the parent by one literal of the diff set.
@@ -81,6 +82,7 @@ impl Ic3 {
                             let refreshed = b.diff(&successor);
                             remaining.retain(|l| refreshed.contains(*l));
                         }
+                        SolveRelative::Aborted => return None,
                     }
                 }
             }

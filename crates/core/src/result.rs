@@ -46,6 +46,10 @@ pub enum UnknownReason {
     ConflictLimit,
     /// The frame budget was exhausted.
     FrameLimit,
+    /// The run was cancelled through the configuration's
+    /// [`StopFlag`](plic3_sat::StopFlag) (e.g. by a portfolio runner's
+    /// watchdog).
+    Cancelled,
 }
 
 impl fmt::Display for UnknownReason {
@@ -54,6 +58,7 @@ impl fmt::Display for UnknownReason {
             UnknownReason::Timeout => write!(f, "timeout"),
             UnknownReason::ConflictLimit => write!(f, "conflict limit"),
             UnknownReason::FrameLimit => write!(f, "frame limit"),
+            UnknownReason::Cancelled => write!(f, "cancelled"),
         }
     }
 }

@@ -157,9 +157,7 @@ mod tests {
         let ts = TransitionSystem::from_aig(&aig);
         // The clause ¬(all latches 0) is false in the initial state.
         let bogus = Certificate {
-            lemmas: vec![Clause::from_lits(
-                (0..3).map(|i| Lit::pos(ts.latch_var(i))),
-            )],
+            lemmas: vec![Clause::from_lits((0..3).map(|i| Lit::pos(ts.latch_var(i))))],
             level: 1,
         };
         let err = verify_certificate(&ts, &bogus).unwrap_err();

@@ -22,28 +22,28 @@ pub fn default_variants() -> Vec<Variant> {
     vec![
         Variant {
             name: "pl (default)".into(),
-            config: base,
+            config: base.clone(),
         },
         Variant {
             name: "pl, no CTG".into(),
-            config: base.with_generalize(GeneralizeMode::Mic),
+            config: base.clone().with_generalize(GeneralizeMode::Mic),
         },
         Variant {
             name: "pl, parent-guided order".into(),
-            config: base.with_ordering(LiteralOrdering::ParentGuided),
+            config: base.clone().with_ordering(LiteralOrdering::ParentGuided),
         },
         Variant {
             name: "pl, shrink predicted".into(),
             config: Config {
                 shrink_predicted: true,
-                ..base
+                ..base.clone()
             },
         },
         Variant {
             name: "pl, no lifting".into(),
             config: Config {
                 lift_predecessors: false,
-                ..base
+                ..base.clone()
             },
         },
         Variant {
@@ -84,7 +84,7 @@ pub fn run(suite: &Suite, variants: &[Variant], runner: &RunnerConfig) -> Ablati
         let mut adv = Vec::new();
         let mut queries = 0u64;
         for benchmark in suite {
-            let mut config = variant.config.with_max_time(runner.timeout);
+            let mut config = variant.config.clone().with_max_time(runner.timeout);
             config.limits.max_conflicts = runner.max_conflicts;
             let mut engine = Ic3::new(benchmark.ts(), config);
             let started = Instant::now();

@@ -16,6 +16,7 @@
 //! Options:
 //!   --full            run the full HWMCC-style suite (default: quick suite)
 //!   --timeout <secs>  per-case wall-clock budget (default: 10)
+//!   --jobs <n>        worker threads of the portfolio runner (default: all cores)
 //!   --csv <dir>       also write CSV files into <dir>
 //! ```
 
@@ -30,6 +31,7 @@ struct Options {
     command: String,
     full: bool,
     timeout: Duration,
+    jobs: usize,
     csv_dir: Option<PathBuf>,
 }
 
@@ -38,6 +40,7 @@ fn parse_args() -> Result<Options, String> {
         command: "all".to_string(),
         full: false,
         timeout: Duration::from_secs(10),
+        jobs: 0,
         csv_dir: None,
     };
     let mut args = std::env::args().skip(1).peekable();
@@ -52,7 +55,14 @@ fn parse_args() -> Result<Options, String> {
             "--timeout" => {
                 let value = args.next().ok_or("--timeout needs a value")?;
                 let secs: f64 = value.parse().map_err(|_| "invalid --timeout value")?;
+                if !secs.is_finite() || secs < 0.0 {
+                    return Err("invalid --timeout value".to_string());
+                }
                 options.timeout = Duration::from_secs_f64(secs);
+            }
+            "--jobs" => {
+                let value = args.next().ok_or("--jobs needs a value")?;
+                options.jobs = value.parse().map_err(|_| "invalid --jobs value")?;
             }
             "--csv" => {
                 let value = args.next().ok_or("--csv needs a directory")?;
@@ -60,6 +70,16 @@ fn parse_args() -> Result<Options, String> {
             }
             other => return Err(format!("unknown option '{other}'")),
         }
+    }
+    const COMMANDS: [&str; 7] = [
+        "all", "table1", "table2", "fig2", "fig3", "fig4", "ablation",
+    ];
+    if !COMMANDS.contains(&options.command.as_str()) {
+        return Err(format!(
+            "unknown command '{}' (expected one of {})",
+            options.command,
+            COMMANDS.join(", ")
+        ));
     }
     Ok(options)
 }
@@ -94,19 +114,31 @@ fn main() {
     };
     let runner = RunnerConfig {
         timeout: options.timeout,
+        workers: options.jobs,
         ..RunnerConfig::default()
     };
-    eprintln!(
-        "running {} instances x 6 configurations (per-case timeout {:?})",
-        suite.len(),
-        runner.timeout
-    );
 
     if options.command == "ablation" {
-        let report = ablation::run(&suite, &ablation::default_variants(), &runner);
+        // The ablation driver is sequential (it accumulates per-variant
+        // aggregates in order); --jobs does not apply to it.
+        let variants = ablation::default_variants();
+        eprintln!(
+            "running {} instances x {} ablation variants sequentially (per-case timeout {:?})",
+            suite.len(),
+            variants.len(),
+            runner.timeout
+        );
+        let report = ablation::run(&suite, &variants, &runner);
         println!("{}", ablation::render(&report));
         return;
     }
+
+    eprintln!(
+        "running {} instances x 6 configurations on {} workers (per-case timeout {:?})",
+        suite.len(),
+        runner.effective_workers(),
+        runner.timeout
+    );
 
     let data = run_experiment(&suite, &Configuration::all(), &runner);
     if data.wrong_verdicts() > 0 {
@@ -141,9 +173,5 @@ fn main() {
         let fig = fig4::build(&data, runner.fast_case_threshold);
         println!("{}", fig4::render(&fig));
         write_csv(&options.csv_dir, "fig4.csv", &fig4::to_csv(&fig));
-    }
-    if !["all", "table1", "table2", "fig2", "fig3", "fig4"].contains(&options.command.as_str()) {
-        eprintln!("error: unknown command '{}'", options.command);
-        std::process::exit(2);
     }
 }

@@ -69,7 +69,11 @@ pub fn build(data: &ExperimentData, limits: &[Duration]) -> Fig2 {
 /// configuration.
 pub fn render(fig: &Fig2) -> String {
     let mut header = vec!["time limit (s)".to_string()];
-    header.extend(fig.series.iter().map(|s| s.configuration.label().to_string()));
+    header.extend(
+        fig.series
+            .iter()
+            .map(|s| s.configuration.label().to_string()),
+    );
     let mut text = TextTable::new(header);
     for (i, limit) in fig.limits.iter().enumerate() {
         let mut row = vec![format!("{:.3}", limit.as_secs_f64())];
@@ -87,7 +91,11 @@ pub fn render(fig: &Fig2) -> String {
 /// Renders the figure data as CSV.
 pub fn to_csv(fig: &Fig2) -> String {
     let mut header = vec!["time_limit_s".to_string()];
-    header.extend(fig.series.iter().map(|s| s.configuration.label().to_string()));
+    header.extend(
+        fig.series
+            .iter()
+            .map(|s| s.configuration.label().to_string()),
+    );
     let mut text = TextTable::new(header);
     for (i, limit) in fig.limits.iter().enumerate() {
         let mut row = vec![format!("{}", limit.as_secs_f64())];

@@ -45,8 +45,7 @@ impl Scatter {
         if self.points.is_empty() {
             return 0.0;
         }
-        self.points.iter().filter(|p| p.below_diagonal()).count() as f64
-            / self.points.len() as f64
+        self.points.iter().filter(|p| p.below_diagonal()).count() as f64 / self.points.len() as f64
     }
 }
 

@@ -103,7 +103,11 @@ pub fn build(data: &ExperimentData, fast_threshold: Duration) -> Fig4 {
             });
         }
     }
-    raw.sort_by(|a, b| a.sr_adv.partial_cmp(&b.sr_adv).unwrap_or(std::cmp::Ordering::Equal));
+    raw.sort_by(|a, b| {
+        a.sr_adv
+            .partial_cmp(&b.sr_adv)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     let mut improved = 0usize;
     for point in &mut raw {
         if point.runtime_ratio > 1.0 {
@@ -249,6 +253,9 @@ mod tests {
             filtered_out: 0,
         };
         let r = fig.correlation().expect("defined");
-        assert!((r - 1.0).abs() < 1e-9, "perfectly correlated synthetic data");
+        assert!(
+            (r - 1.0).abs() < 1e-9,
+            "perfectly correlated synthetic data"
+        );
     }
 }

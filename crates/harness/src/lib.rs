@@ -49,5 +49,6 @@ pub mod table1;
 pub mod table2;
 
 pub use runner::{
-    run_case, run_experiment, CaseResult, Configuration, ExperimentData, RunnerConfig, Verdict,
+    run_case, run_experiment, run_experiment_with_workers, CaseResult, Configuration,
+    ExperimentData, RunnerConfig, Verdict,
 };

@@ -138,7 +138,10 @@ mod tests {
 
     #[test]
     fn csv_escapes_commas_and_quotes() {
-        assert_eq!(csv_line(&["a,b".into(), "c\"d".into()]), "\"a,b\",\"c\"\"d\"\n");
+        assert_eq!(
+            csv_line(&["a,b".into(), "c\"d".into()]),
+            "\"a,b\",\"c\"\"d\"\n"
+        );
         assert_eq!(csv_line(&["plain".into()]), "plain\n");
         let mut t = TextTable::new(vec!["h".into()]);
         t.add_row(vec!["v".into()]);

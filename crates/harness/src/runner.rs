@@ -1,9 +1,20 @@
 //! Resource-limited execution of the benchmark suite under the paper's
 //! configurations.
+//!
+//! [`run_experiment`] is a **portfolio runner**: the (benchmark ×
+//! configuration) cases are fanned out over a pool of worker threads, a
+//! watchdog thread raises each case's [`StopFlag`] when its wall-clock budget
+//! expires (interrupting even a single long SAT query), and the results are
+//! reassembled in benchmark-major order so the collected [`ExperimentData`] —
+//! and therefore every table and figure built from it — is independent of
+//! scheduling.
 
-use plic3::{Config, Ic3, Statistics};
+use plic3::{Config, Ic3, Statistics, StopFlag};
 use plic3_benchmarks::{Benchmark, ExpectedResult, Suite};
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Condvar, Mutex};
+use std::thread;
 use std::time::{Duration, Instant};
 
 /// The configurations evaluated in Table 1 of the paper.
@@ -127,6 +138,9 @@ pub struct RunnerConfig {
     /// Cases where both members of a base/prediction pair finish faster than
     /// this are dropped from the Figure 4 analysis (the paper uses 1 s).
     pub fast_case_threshold: Duration,
+    /// Number of worker threads the portfolio runner fans cases out over;
+    /// `0` means one worker per available core, `1` runs sequentially.
+    pub workers: usize,
 }
 
 impl Default for RunnerConfig {
@@ -135,6 +149,21 @@ impl Default for RunnerConfig {
             timeout: Duration::from_secs(10),
             max_conflicts: Some(2_000_000),
             fast_case_threshold: Duration::from_millis(10),
+            workers: 0,
+        }
+    }
+}
+
+impl RunnerConfig {
+    /// The worker-pool size this configuration resolves to: `workers`, or one
+    /// per available core when it is `0`.
+    pub fn effective_workers(&self) -> usize {
+        if self.workers == 0 {
+            thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.workers
         }
     }
 }
@@ -212,14 +241,29 @@ impl ExperimentData {
 }
 
 /// Runs a single benchmark under a single configuration with the given budgets.
+///
+/// The wall-clock budget is enforced cooperatively by the engine between SAT
+/// queries; inside the portfolio runner the case additionally gets a watchdog
+/// that interrupts long-running queries through the shared [`StopFlag`].
 pub fn run_case(
     benchmark: &Benchmark,
     configuration: Configuration,
     runner: &RunnerConfig,
 ) -> CaseResult {
+    run_case_with_stop(benchmark, configuration, runner, StopFlag::new())
+}
+
+/// [`run_case`] with an externally owned cancellation flag.
+fn run_case_with_stop(
+    benchmark: &Benchmark,
+    configuration: Configuration,
+    runner: &RunnerConfig,
+    stop: StopFlag,
+) -> CaseResult {
     let mut config = configuration
         .to_config()
-        .with_max_time(runner.timeout);
+        .with_max_time(runner.timeout)
+        .with_stop_flag(stop);
     config.limits.max_conflicts = runner.max_conflicts;
     let ts = benchmark.ts();
     let mut engine = Ic3::new(ts, config);
@@ -237,12 +281,12 @@ pub fn run_case(
         ),
         plic3::CheckResult::Unknown(_) => (Verdict::Unknown, true),
     };
-    let correct = match (verdict, benchmark.expected()) {
-        (Verdict::Safe, ExpectedResult::Safe) => true,
-        (Verdict::Unsafe, ExpectedResult::Unsafe { .. }) => true,
-        (Verdict::Unknown, _) => true,
-        _ => false,
-    };
+    let correct = matches!(
+        (verdict, benchmark.expected()),
+        (Verdict::Safe, ExpectedResult::Safe)
+            | (Verdict::Unsafe, ExpectedResult::Unsafe { .. })
+            | (Verdict::Unknown, _)
+    );
     CaseResult {
         benchmark: benchmark.name().to_string(),
         family: benchmark.family().to_string(),
@@ -256,23 +300,157 @@ pub fn run_case(
     }
 }
 
+/// The watchdog shared by all workers of one experiment run: a sorted-by-scan
+/// list of armed (deadline, flag) pairs serviced by a dedicated thread, so a
+/// case whose budget expires is cancelled even in the middle of a SAT query.
+struct Watchdog {
+    state: Mutex<WatchdogState>,
+    wakeup: Condvar,
+}
+
+struct WatchdogState {
+    next_id: u64,
+    armed: Vec<(u64, Instant, StopFlag)>,
+    shutdown: bool,
+}
+
+impl Watchdog {
+    fn new() -> Self {
+        Watchdog {
+            state: Mutex::new(WatchdogState {
+                next_id: 0,
+                armed: Vec::new(),
+                shutdown: false,
+            }),
+            wakeup: Condvar::new(),
+        }
+    }
+
+    /// Registers `flag` to be raised at `deadline`; returns a token for
+    /// [`Watchdog::disarm`].
+    fn arm(&self, deadline: Instant, flag: StopFlag) -> u64 {
+        let mut state = self.state.lock().expect("watchdog lock");
+        let id = state.next_id;
+        state.next_id += 1;
+        state.armed.push((id, deadline, flag));
+        self.wakeup.notify_one();
+        id
+    }
+
+    /// Withdraws an armed deadline (the case finished within its budget).
+    fn disarm(&self, id: u64) {
+        let mut state = self.state.lock().expect("watchdog lock");
+        state.armed.retain(|(armed_id, _, _)| *armed_id != id);
+    }
+
+    fn shutdown(&self) {
+        self.state.lock().expect("watchdog lock").shutdown = true;
+        self.wakeup.notify_one();
+    }
+
+    /// The watchdog thread body: sleep until the earliest armed deadline (or a
+    /// new arming), raise every expired flag, repeat until shutdown.
+    fn run(&self) {
+        let mut state = self.state.lock().expect("watchdog lock");
+        loop {
+            if state.shutdown {
+                return;
+            }
+            let now = Instant::now();
+            state.armed.retain(|(_, deadline, flag)| {
+                let expired = *deadline <= now;
+                if expired {
+                    flag.stop();
+                }
+                !expired
+            });
+            let wait = state
+                .armed
+                .iter()
+                .map(|(_, deadline, _)| deadline.saturating_duration_since(now))
+                .min()
+                .unwrap_or(Duration::from_millis(50));
+            let (next, _) = self
+                .wakeup
+                .wait_timeout(state, wait)
+                .expect("watchdog lock");
+            state = next;
+        }
+    }
+}
+
 /// Runs the whole `suite` under every configuration in `configurations`.
 ///
-/// Results are gathered sequentially and deterministically (benchmark-major
-/// order), so repeated runs differ only in measured runtimes.
+/// This is the portfolio runner: cases are distributed over
+/// [`RunnerConfig::effective_workers`] worker threads and each case is armed
+/// with a watchdog deadline of [`RunnerConfig::timeout`]. Results are
+/// reassembled in benchmark-major order, so the returned [`ExperimentData`]
+/// is ordered identically no matter how the cases were scheduled — repeated
+/// runs differ only in measured runtimes.
 pub fn run_experiment(
     suite: &Suite,
     configurations: &[Configuration],
     runner: &RunnerConfig,
 ) -> ExperimentData {
-    let mut results = Vec::with_capacity(suite.len() * configurations.len());
-    for benchmark in suite {
-        for &configuration in configurations {
-            results.push(run_case(benchmark, configuration, runner));
+    run_experiment_with_workers(suite, configurations, runner, runner.effective_workers())
+}
+
+/// [`run_experiment`] with an explicit worker count (ignoring
+/// [`RunnerConfig::workers`]). `workers == 1` is the sequential baseline the
+/// parallel runs are validated against.
+pub fn run_experiment_with_workers(
+    suite: &Suite,
+    configurations: &[Configuration],
+    runner: &RunnerConfig,
+    workers: usize,
+) -> ExperimentData {
+    // Benchmark-major case list; the index doubles as the output position.
+    let cases: Vec<(&Benchmark, Configuration)> = suite
+        .iter()
+        .flat_map(|benchmark| {
+            configurations
+                .iter()
+                .map(move |&configuration| (benchmark, configuration))
+        })
+        .collect();
+    let total = cases.len();
+    let mut results: Vec<Option<CaseResult>> = vec![None; total];
+    let next_case = AtomicUsize::new(0);
+    let watchdog = Watchdog::new();
+    let (tx, rx) = mpsc::channel::<(usize, CaseResult)>();
+    thread::scope(|scope| {
+        let watchdog = &watchdog;
+        let cases = &cases;
+        let next_case = &next_case;
+        scope.spawn(move || watchdog.run());
+        for _ in 0..workers.max(1).min(total.max(1)) {
+            let tx = tx.clone();
+            scope.spawn(move || loop {
+                let index = next_case.fetch_add(1, Ordering::Relaxed);
+                if index >= total {
+                    return;
+                }
+                let (benchmark, configuration) = cases[index];
+                let stop = StopFlag::new();
+                let token = watchdog.arm(Instant::now() + runner.timeout, stop.clone());
+                let result = run_case_with_stop(benchmark, configuration, runner, stop);
+                watchdog.disarm(token);
+                if tx.send((index, result)).is_err() {
+                    return;
+                }
+            });
         }
-    }
+        drop(tx);
+        for (index, result) in rx {
+            results[index] = Some(result);
+        }
+        watchdog.shutdown();
+    });
     ExperimentData {
-        results,
+        results: results
+            .into_iter()
+            .map(|result| result.expect("every case reports exactly once"))
+            .collect(),
         runner: Some(*runner),
     }
 }
@@ -286,6 +464,7 @@ mod tests {
             timeout: Duration::from_secs(5),
             max_conflicts: Some(200_000),
             fast_case_threshold: Duration::from_millis(1),
+            ..RunnerConfig::default()
         }
     }
 
@@ -297,7 +476,7 @@ mod tests {
             if let Some(base) = config.base() {
                 assert!(config.has_prediction());
                 assert!(!base.has_prediction());
-                assert!(base.to_config().lemma_prediction == false);
+                assert!(!base.to_config().lemma_prediction);
                 assert!(config.to_config().lemma_prediction);
             }
         }
@@ -326,10 +505,90 @@ mod tests {
         assert_eq!(data.results.len(), suite.len() * 2);
         assert_eq!(data.configurations(), configs.to_vec());
         assert_eq!(data.wrong_verdicts(), 0);
-        assert_eq!(data.for_configuration(Configuration::Ric3).len(), suite.len());
+        assert_eq!(
+            data.for_configuration(Configuration::Ric3).len(),
+            suite.len()
+        );
         let name = suite.iter().next().expect("non-empty").name();
         assert!(data.result_of(Configuration::Ric3Pl, name).is_some());
         assert!(data.result_of(Configuration::AbcPdr, name).is_none());
+    }
+
+    #[test]
+    fn parallel_and_sequential_runs_agree() {
+        // The satellite requirement of the portfolio runner: fanning the cases
+        // out over several workers must not change what is reported, only how
+        // fast. All cases below solve well within the budget, so the verdicts
+        // are deterministic.
+        let suite = Suite::quick().filter(|b| matches!(b.family(), "counter" | "ring"));
+        let runner = tiny_runner();
+        let configs = [Configuration::Ric3, Configuration::Ric3Pl];
+        let sequential = run_experiment_with_workers(&suite, &configs, &runner, 1);
+        let parallel = run_experiment_with_workers(&suite, &configs, &runner, 4);
+        assert_eq!(sequential.results.len(), parallel.results.len());
+        for (s, p) in sequential.results.iter().zip(&parallel.results) {
+            assert_eq!(s.benchmark, p.benchmark, "case order must be identical");
+            assert_eq!(s.configuration, p.configuration);
+            assert_eq!(
+                s.verdict, p.verdict,
+                "{} under {} changed verdict across schedulers",
+                s.benchmark, s.configuration
+            );
+            assert_eq!(s.correct, p.correct);
+            assert_eq!(s.verified, p.verified);
+        }
+    }
+
+    #[test]
+    fn results_come_back_in_benchmark_major_order() {
+        let suite = Suite::quick().filter(|b| b.family() == "counter");
+        let runner = tiny_runner();
+        let configs = [Configuration::Ric3, Configuration::Ic3ref];
+        let data = run_experiment_with_workers(&suite, &configs, &runner, 3);
+        let mut expected = Vec::new();
+        for benchmark in &suite {
+            for &configuration in &configs {
+                expected.push((benchmark.name().to_string(), configuration));
+            }
+        }
+        let actual: Vec<(String, Configuration)> = data
+            .results
+            .iter()
+            .map(|r| (r.benchmark.clone(), r.configuration))
+            .collect();
+        assert_eq!(actual, expected);
+    }
+
+    #[test]
+    fn watchdog_cancels_cases_that_blow_their_budget() {
+        // A budget far below what any real case needs: every verdict must come
+        // back Unknown (counted correct), and the whole experiment must finish
+        // quickly instead of running the cases to completion.
+        let suite = Suite::hwmcc_like().filter(|b| b.family() == "fifo");
+        assert!(!suite.is_empty());
+        let runner = RunnerConfig {
+            timeout: Duration::from_millis(1),
+            max_conflicts: None,
+            ..RunnerConfig::default()
+        };
+        let started = Instant::now();
+        let data = run_experiment_with_workers(&suite, &[Configuration::Ric3], &runner, 2);
+        assert!(
+            started.elapsed() < Duration::from_secs(30),
+            "cancellation failed to bound the run"
+        );
+        assert_eq!(data.results.len(), suite.len());
+        assert_eq!(data.wrong_verdicts(), 0);
+    }
+
+    #[test]
+    fn effective_workers_resolves_auto() {
+        assert!(RunnerConfig::default().effective_workers() >= 1);
+        let one = RunnerConfig {
+            workers: 1,
+            ..RunnerConfig::default()
+        };
+        assert_eq!(one.effective_workers(), 1);
     }
 
     #[test]

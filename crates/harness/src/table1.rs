@@ -128,7 +128,11 @@ mod tests {
                 data.for_configuration(row.configuration).len()
             );
             // The quick instances are easy enough to always be solved.
-            assert_eq!(row.unknown, 0, "{} timed out unexpectedly", row.configuration);
+            assert_eq!(
+                row.unknown, 0,
+                "{} timed out unexpectedly",
+                row.configuration
+            );
         }
     }
 

@@ -111,7 +111,9 @@ pub fn to_csv(table: &Table2) -> String {
             row.configuration.label().to_string(),
             row.avg_sr_lp.map(|r| format!("{r:.4}")).unwrap_or_default(),
             row.avg_sr_fp.map(|r| format!("{r:.4}")).unwrap_or_default(),
-            row.avg_sr_adv.map(|r| format!("{r:.4}")).unwrap_or_default(),
+            row.avg_sr_adv
+                .map(|r| format!("{r:.4}"))
+                .unwrap_or_default(),
             row.cases.to_string(),
         ]);
     }
@@ -146,7 +148,10 @@ mod tests {
         for row in &table.rows {
             assert!(row.configuration.has_prediction());
             assert!(row.cases > 0);
-            for rate in [row.avg_sr_lp, row.avg_sr_fp, row.avg_sr_adv].into_iter().flatten() {
+            for rate in [row.avg_sr_lp, row.avg_sr_fp, row.avg_sr_adv]
+                .into_iter()
+                .flatten()
+            {
                 assert!((0.0..=1.0).contains(&rate), "rate out of range: {rate}");
             }
         }

@@ -36,6 +36,7 @@ mod clause;
 mod cnf;
 mod cube;
 mod lit;
+mod rng;
 mod var;
 
 pub use assignment::Assignment;
@@ -43,6 +44,7 @@ pub use clause::Clause;
 pub use cnf::Cnf;
 pub use cube::Cube;
 pub use lit::Lit;
+pub use rng::SplitMix64;
 pub use var::{Var, VarAllocator};
 
 /// A convenience alias for the result of evaluating a formula under a partial

@@ -132,8 +132,8 @@ mod tests {
         assert!(n.is_neg() && !n.is_pos());
         assert_eq!(p.var(), v);
         assert_eq!(n.var(), v);
-        assert_eq!(p.asserted_value(), true);
-        assert_eq!(n.asserted_value(), false);
+        assert!(p.asserted_value());
+        assert!(!n.asserted_value());
     }
 
     #[test]

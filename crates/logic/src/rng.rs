@@ -1,0 +1,122 @@
+//! A tiny deterministic PRNG for seeded test-case and benchmark generation.
+
+use std::ops::Range;
+
+/// A SplitMix64 pseudo-random generator.
+///
+/// The workspace is dependency-free, so this stands in for `rand` wherever
+/// reproducible randomness is needed: the random benchmark circuits and the
+/// seeded property/fuzz tests. The generator only has to be stable across
+/// runs and platforms — statistical quality beyond that is irrelevant here.
+///
+/// # Example
+///
+/// ```
+/// use plic3_logic::SplitMix64;
+///
+/// let mut a = SplitMix64::new(7);
+/// let mut b = SplitMix64::new(7);
+/// assert_eq!(a.next_u64(), b.next_u64(), "same seed, same stream");
+/// ```
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed; equal seeds yield equal streams.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// The next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// A fair coin flip.
+    pub fn bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// A biased coin flip: `true` with probability `p`.
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        (self.next_u64() >> 11) as f64 / ((1u64 << 53) as f64) < p
+    }
+
+    /// A uniform value in `0..n` (returns 0 when `n` is 0).
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n.max(1)
+    }
+
+    /// A uniform value in `lo..hi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty, like the `rand` API this mirrors.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "cannot sample from the empty range {lo}..{hi}");
+        lo + self.below(hi - lo)
+    }
+
+    /// A uniform index in `range` (rand-style convenience for `usize` ranges).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty, like the `rand` API this mirrors.
+    pub fn gen_range(&mut self, range: Range<usize>) -> usize {
+        self.range(range.start as u64, range.end as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: Vec<u64> = {
+            let mut rng = SplitMix64::new(42);
+            (0..8).map(|_| rng.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut rng = SplitMix64::new(42);
+            (0..8).map(|_| rng.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        let mut other = SplitMix64::new(43);
+        assert_ne!(a[0], other.next_u64());
+    }
+
+    #[test]
+    fn bounded_draws_stay_in_range() {
+        let mut rng = SplitMix64::new(1);
+        for _ in 0..1000 {
+            assert!(rng.below(10) < 10);
+            let r = rng.range(5, 8);
+            assert!((5..8).contains(&r));
+            let i = rng.gen_range(2..4);
+            assert!((2..4).contains(&i));
+        }
+        assert_eq!(rng.below(0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let _ = SplitMix64::new(1).gen_range(5..5);
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability_roughly() {
+        let mut rng = SplitMix64::new(2);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((2_500..3_500).contains(&hits), "got {hits}");
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+}

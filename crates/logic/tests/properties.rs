@@ -2,41 +2,44 @@
 //!
 //! These encode Definition 3.1 and Theorems 3.2–3.4 of *Predicting Lemmas in
 //! Generalization of IC3* (DAC 2024) as executable properties, plus general
-//! sanity invariants of the cube/clause/assignment types.
+//! sanity invariants of the cube/clause/assignment types. The properties are
+//! exercised over a deterministic seeded sample (the workspace is
+//! dependency-free, so no proptest) — every case is reproducible from its
+//! seed, which failure messages report.
 
-use plic3_logic::{Assignment, Clause, Cnf, Cube, Lit, Var};
-use proptest::prelude::*;
+use plic3_logic::{Assignment, Clause, Cnf, Cube, Lit, SplitMix64 as Rng, Var};
+use std::collections::BTreeMap;
 
 const MAX_VAR: u32 = 8;
+const CASES: u64 = 300;
 
-/// Strategy for an arbitrary literal over a small variable range.
-fn arb_lit() -> impl Strategy<Value = Lit> {
-    (0..MAX_VAR, any::<bool>()).prop_map(|(v, pos)| Lit::new(Var::new(v), pos))
+fn arb_lit(rng: &mut Rng) -> Lit {
+    Lit::new(Var::new(rng.below(MAX_VAR as u64) as u32), rng.bool())
 }
 
-/// Strategy for an arbitrary (possibly contradictory) cube.
-fn arb_cube() -> impl Strategy<Value = Cube> {
-    prop::collection::vec(arb_lit(), 0..10).prop_map(Cube::from_lits)
+/// An arbitrary (possibly contradictory) cube of up to 9 literals.
+fn arb_cube(rng: &mut Rng) -> Cube {
+    let len = rng.below(10) as usize;
+    Cube::from_lits((0..len).map(|_| arb_lit(rng)))
 }
 
-/// Strategy for a consistent cube (at most one polarity per variable).
-fn arb_consistent_cube() -> impl Strategy<Value = Cube> {
-    prop::collection::btree_map(0..MAX_VAR, any::<bool>(), 0..8).prop_map(|m| {
-        Cube::from_lits(m.into_iter().map(|(v, pos)| Lit::new(Var::new(v), pos)))
-    })
+/// A consistent cube (at most one polarity per variable), possibly empty.
+fn arb_consistent_cube(rng: &mut Rng, min_len: usize) -> Cube {
+    let len = min_len + rng.below(8 - min_len as u64) as usize;
+    let mut polarities: BTreeMap<u32, bool> = BTreeMap::new();
+    while polarities.len() < len {
+        polarities.insert(rng.below(MAX_VAR as u64) as u32, rng.bool());
+    }
+    Cube::from_lits(
+        polarities
+            .into_iter()
+            .map(|(v, pos)| Lit::new(Var::new(v), pos)),
+    )
 }
 
-/// Strategy for a non-empty consistent cube.
-fn arb_nonempty_consistent_cube() -> impl Strategy<Value = Cube> {
-    prop::collection::btree_map(0..MAX_VAR, any::<bool>(), 1..8).prop_map(|m| {
-        Cube::from_lits(m.into_iter().map(|(v, pos)| Lit::new(Var::new(v), pos)))
-    })
-}
-
-/// Strategy for a total assignment over the variable range.
-fn arb_total_assignment() -> impl Strategy<Value = Assignment> {
-    prop::collection::vec(any::<bool>(), MAX_VAR as usize)
-        .prop_map(|vals| Assignment::from_values(vals.into_iter().map(Some).collect()))
+/// A total assignment over the variable range.
+fn arb_total_assignment(rng: &mut Rng) -> Assignment {
+    Assignment::from_values((0..MAX_VAR).map(|_| Some(rng.bool())).collect())
 }
 
 /// Enumerate all total assignments over `MAX_VAR` variables (2^8 = 256 of them).
@@ -50,185 +53,248 @@ fn all_assignments() -> impl Iterator<Item = Assignment> {
     })
 }
 
-proptest! {
-    // ------------------------------------------------------------------
-    // Literal and negation basics
-    // ------------------------------------------------------------------
+// ------------------------------------------------------------------
+// Literal and negation basics
+// ------------------------------------------------------------------
 
-    #[test]
-    fn lit_double_negation(l in arb_lit()) {
-        prop_assert_eq!(!!l, l);
-        prop_assert_ne!(!l, l);
-        prop_assert_eq!((!l).var(), l.var());
+#[test]
+fn lit_double_negation() {
+    let mut rng = Rng::new(1);
+    for seed in 0..CASES {
+        let l = arb_lit(&mut rng);
+        assert_eq!(!!l, l, "seed {seed}");
+        assert_ne!(!l, l, "seed {seed}");
+        assert_eq!((!l).var(), l.var(), "seed {seed}");
     }
+}
 
-    #[test]
-    fn dimacs_roundtrip(l in arb_lit()) {
-        prop_assert_eq!(Lit::from_dimacs(l.to_dimacs()), l);
+#[test]
+fn dimacs_roundtrip() {
+    let mut rng = Rng::new(2);
+    for seed in 0..CASES {
+        let l = arb_lit(&mut rng);
+        assert_eq!(Lit::from_dimacs(l.to_dimacs()), l, "seed {seed}");
     }
+}
 
-    // ------------------------------------------------------------------
-    // Cube invariants
-    // ------------------------------------------------------------------
+// ------------------------------------------------------------------
+// Cube invariants
+// ------------------------------------------------------------------
 
-    #[test]
-    fn cube_lits_sorted_and_unique(c in arb_cube()) {
-        let lits = c.lits();
-        for w in lits.windows(2) {
-            prop_assert!(w[0] < w[1]);
+#[test]
+fn cube_lits_sorted_and_unique() {
+    let mut rng = Rng::new(3);
+    for seed in 0..CASES {
+        let c = arb_cube(&mut rng);
+        for w in c.lits().windows(2) {
+            assert!(w[0] < w[1], "seed {seed}: {c}");
         }
     }
+}
 
-    #[test]
-    fn cube_negate_involutive(c in arb_cube()) {
-        prop_assert_eq!(c.negate().negate(), c);
+#[test]
+fn cube_negate_involutive() {
+    let mut rng = Rng::new(4);
+    for seed in 0..CASES {
+        let c = arb_cube(&mut rng);
+        assert_eq!(c.negate().negate(), c, "seed {seed}");
     }
+}
 
-    #[test]
-    fn cube_with_then_without(c in arb_cube(), l in arb_lit()) {
+#[test]
+fn cube_with_then_without() {
+    let mut rng = Rng::new(5);
+    for seed in 0..CASES {
+        let c = arb_cube(&mut rng);
+        let l = arb_lit(&mut rng);
         let added = c.with_lit(l);
-        prop_assert!(added.contains(l));
+        assert!(added.contains(l), "seed {seed}");
         if !c.contains(l) {
-            prop_assert_eq!(added.without_lit(l), c);
+            assert_eq!(added.without_lit(l), c, "seed {seed}");
         }
     }
+}
 
-    #[test]
-    fn cube_subsumes_is_reflexive_and_monotone(c in arb_cube(), l in arb_lit()) {
-        prop_assert!(c.subsumes(&c));
-        prop_assert!(c.subsumes(&c.with_lit(l)));
-        prop_assert!(Cube::top().subsumes(&c));
+#[test]
+fn cube_subsumes_is_reflexive_and_monotone() {
+    let mut rng = Rng::new(6);
+    for seed in 0..CASES {
+        let c = arb_cube(&mut rng);
+        let l = arb_lit(&mut rng);
+        assert!(c.subsumes(&c), "seed {seed}");
+        assert!(c.subsumes(&c.with_lit(l)), "seed {seed}");
+        assert!(Cube::top().subsumes(&c), "seed {seed}");
     }
+}
 
-    // ------------------------------------------------------------------
-    // Theorem 3.4: for consistent non-empty cubes a, b:  a ⇒ b  iff  b ⊆ a.
-    // ------------------------------------------------------------------
+// ------------------------------------------------------------------
+// Theorem 3.4: for consistent non-empty cubes a, b:  a ⇒ b  iff  b ⊆ a.
+// ------------------------------------------------------------------
 
-    #[test]
-    fn theorem_3_4_subset_iff_entailment(
-        a in arb_nonempty_consistent_cube(),
-        b in arb_nonempty_consistent_cube(),
-    ) {
+#[test]
+fn theorem_3_4_subset_iff_entailment() {
+    let mut rng = Rng::new(7);
+    for seed in 0..CASES {
+        let a = arb_consistent_cube(&mut rng, 1);
+        let b = arb_consistent_cube(&mut rng, 1);
         let subset = b.subsumes(&a); // b ⊆ a as literal sets
-        // Semantic entailment a ⇒ b checked by enumerating all assignments.
+                                     // Semantic entailment a ⇒ b checked by enumerating all assignments.
         let entails = all_assignments()
             .filter(|asg| asg.satisfies_cube(&a))
             .all(|asg| asg.satisfies_cube(&b));
-        prop_assert_eq!(subset, entails);
+        assert_eq!(subset, entails, "seed {seed}: a={a} b={b}");
     }
+}
 
-    // ------------------------------------------------------------------
-    // Definition 3.1 / Theorem 3.2: diff(a,b) ≠ ∅ iff a ∧ b unsatisfiable.
-    // ------------------------------------------------------------------
+// ------------------------------------------------------------------
+// Definition 3.1 / Theorem 3.2: diff(a,b) ≠ ∅ iff a ∧ b unsatisfiable.
+// ------------------------------------------------------------------
 
-    #[test]
-    fn theorem_3_2_diff_nonempty_iff_conjunction_unsat(
-        a in arb_nonempty_consistent_cube(),
-        b in arb_nonempty_consistent_cube(),
-    ) {
+#[test]
+fn theorem_3_2_diff_nonempty_iff_conjunction_unsat() {
+    let mut rng = Rng::new(8);
+    for seed in 0..CASES {
+        let a = arb_consistent_cube(&mut rng, 1);
+        let b = arb_consistent_cube(&mut rng, 1);
         let diff_nonempty = !a.diff(&b).is_empty();
-        let conjunction_unsat = !all_assignments()
-            .any(|asg| asg.satisfies_cube(&a) && asg.satisfies_cube(&b));
-        prop_assert_eq!(diff_nonempty, conjunction_unsat);
+        let conjunction_unsat =
+            !all_assignments().any(|asg| asg.satisfies_cube(&a) && asg.satisfies_cube(&b));
+        assert_eq!(diff_nonempty, conjunction_unsat, "seed {seed}: a={a} b={b}");
     }
+}
 
-    #[test]
-    fn diff_is_subset_of_lhs(a in arb_cube(), b in arb_cube()) {
+#[test]
+fn diff_is_subset_of_lhs() {
+    let mut rng = Rng::new(9);
+    for seed in 0..CASES {
+        let a = arb_cube(&mut rng);
+        let b = arb_cube(&mut rng);
         let d = a.diff(&b);
-        prop_assert!(d.subsumes(&a));
+        assert!(d.subsumes(&a), "seed {seed}");
         for l in &d {
-            prop_assert!(a.contains(l));
-            prop_assert!(b.contains(!l));
+            assert!(a.contains(l), "seed {seed}");
+            assert!(b.contains(!l), "seed {seed}");
         }
     }
+}
 
-    // ------------------------------------------------------------------
-    // Theorem 3.3: if diff(a,b) ≠ ∅ and c ∩ diff(a,b) ≠ ∅ then diff(c,b) ≠ ∅.
-    // ------------------------------------------------------------------
+// ------------------------------------------------------------------
+// Theorem 3.3: if diff(a,b) ≠ ∅ and c ∩ diff(a,b) ≠ ∅ then diff(c,b) ≠ ∅.
+// ------------------------------------------------------------------
 
-    #[test]
-    fn theorem_3_3_diff_propagates_through_intersection(
-        a in arb_cube(),
-        b in arb_cube(),
-        c in arb_cube(),
-    ) {
+#[test]
+fn theorem_3_3_diff_propagates_through_intersection() {
+    let mut rng = Rng::new(10);
+    for seed in 0..CASES {
+        let a = arb_cube(&mut rng);
+        let b = arb_cube(&mut rng);
+        let c = arb_cube(&mut rng);
         let dab = a.diff(&b);
         if !dab.is_empty() && !c.intersection(&dab).is_empty() {
-            prop_assert!(!c.diff(&b).is_empty());
+            assert!(!c.diff(&b).is_empty(), "seed {seed}: a={a} b={b} c={c}");
         }
     }
+}
 
-    // ------------------------------------------------------------------
-    // The paper's candidate construction (Equation 6): c3 = c2 ∪ {l}, l ∈ diff(b, t)
-    // satisfies  c3 ∧ t = ⊥  (Eq. 2),  c3 ⊆ b when c2 ⊆ b (Eq. 3),  c2 ⊆ c3 (Eq. 4).
-    // ------------------------------------------------------------------
+// ------------------------------------------------------------------
+// The paper's candidate construction (Equation 6): c3 = c2 ∪ {l}, l ∈ diff(b, t)
+// satisfies  c3 ∧ t = ⊥  (Eq. 2),  c3 ⊆ b when c2 ⊆ b (Eq. 3),  c2 ⊆ c3 (Eq. 4).
+// ------------------------------------------------------------------
 
-    #[test]
-    fn equation_6_candidate_properties(
-        b in arb_nonempty_consistent_cube(),
-        t in arb_nonempty_consistent_cube(),
-        keep in prop::collection::vec(any::<bool>(), 10),
-    ) {
+#[test]
+fn equation_6_candidate_properties() {
+    let mut rng = Rng::new(11);
+    let mut exercised = 0u32;
+    for seed in 0..CASES {
+        let b = arb_consistent_cube(&mut rng, 1);
+        let t = arb_consistent_cube(&mut rng, 1);
+        let keep: Vec<bool> = (0..10).map(|_| rng.bool()).collect();
         let ds = b.diff(&t);
-        prop_assume!(!ds.is_empty());
+        if ds.is_empty() {
+            continue;
+        }
+        exercised += 1;
         // Build a parent cube c2 ⊆ b by dropping some literals of b.
-        let mask: Vec<bool> = b.lits().iter().enumerate()
+        let mask: Vec<bool> = b
+            .lits()
+            .iter()
+            .enumerate()
             .map(|(i, _)| keep.get(i).copied().unwrap_or(true))
             .collect();
         let c2 = b.retain_by_mask(&mask);
         for l in &ds {
             let c3 = c2.with_lit(l);
             // Eq. 4: c2 ⊆ c3.
-            prop_assert!(c2.subsumes(&c3));
+            assert!(c2.subsumes(&c3), "seed {seed}");
             // Eq. 3: c3 ⊆ b (so b ⇒ c3).
-            prop_assert!(c3.subsumes(&b));
+            assert!(c3.subsumes(&b), "seed {seed}");
             // Eq. 2: c3 ∧ t = ⊥, via Theorem 3.2 (diff non-empty).
-            prop_assert!(!c3.diff(&t).is_empty());
+            assert!(!c3.diff(&t).is_empty(), "seed {seed}");
             // And semantically: no assignment satisfies both c3 and t.
-            let compatible = all_assignments()
-                .any(|asg| asg.satisfies_cube(&c3) && asg.satisfies_cube(&t));
-            prop_assert!(!compatible);
+            let compatible =
+                all_assignments().any(|asg| asg.satisfies_cube(&c3) && asg.satisfies_cube(&t));
+            assert!(!compatible, "seed {seed}: c3={c3} t={t}");
         }
     }
+    assert!(exercised > 20, "too few cases had a non-empty diff set");
+}
 
-    // ------------------------------------------------------------------
-    // Clause / CNF / assignment interplay
-    // ------------------------------------------------------------------
+// ------------------------------------------------------------------
+// Clause / CNF / assignment interplay
+// ------------------------------------------------------------------
 
-    #[test]
-    fn clause_negation_flips_evaluation(
-        c in arb_consistent_cube(),
-        asg in arb_total_assignment(),
-    ) {
+#[test]
+fn clause_negation_flips_evaluation() {
+    let mut rng = Rng::new(12);
+    for seed in 0..CASES {
+        let c = arb_consistent_cube(&mut rng, 0);
+        let asg = arb_total_assignment(&mut rng);
         let clause = c.negate();
         // Under a total assignment the cube and its negated clause always have
         // opposite truth values.
         if let (Some(cube_val), Some(clause_val)) = (asg.eval_cube(&c), asg.eval_clause(&clause)) {
-            prop_assert_ne!(cube_val, clause_val);
+            assert_ne!(cube_val, clause_val, "seed {seed}");
         } else {
             // Total assignment over MAX_VAR vars: both must be determined.
-            prop_assert!(c.max_var().map(|v| v.index() >= MAX_VAR as usize).unwrap_or(false));
+            assert!(
+                c.max_var()
+                    .map(|v| v.index() >= MAX_VAR as usize)
+                    .unwrap_or(false),
+                "seed {seed}"
+            );
         }
     }
+}
 
-    #[test]
-    fn cnf_eval_matches_clausewise_eval(
-        clauses in prop::collection::vec(
-            prop::collection::vec(arb_lit(), 1..4).prop_map(Clause::from_lits), 0..6),
-        asg in arb_total_assignment(),
-    ) {
+#[test]
+fn cnf_eval_matches_clausewise_eval() {
+    let mut rng = Rng::new(13);
+    for seed in 0..CASES {
+        let num_clauses = rng.below(6) as usize;
+        let clauses: Vec<Clause> = (0..num_clauses)
+            .map(|_| {
+                let len = 1 + rng.below(3) as usize;
+                Clause::from_lits((0..len).map(|_| arb_lit(&mut rng)))
+            })
+            .collect();
+        let asg = arb_total_assignment(&mut rng);
         let cnf = Cnf::from_clauses(clauses.clone());
-        let expected = clauses.iter().map(|c| asg.eval_clause(c)).try_fold(true, |acc, v| {
-            v.map(|v| acc && v)
-        });
-        prop_assert_eq!(cnf.eval(&asg), expected);
+        let expected = clauses
+            .iter()
+            .map(|c| asg.eval_clause(c))
+            .try_fold(true, |acc, v| v.map(|v| acc && v));
+        assert_eq!(cnf.eval(&asg), expected, "seed {seed}");
     }
+}
 
-    #[test]
-    fn assignment_projection_satisfies_cube(asg in arb_total_assignment()) {
+#[test]
+fn assignment_projection_satisfies_cube() {
+    let mut rng = Rng::new(14);
+    for seed in 0..CASES {
+        let asg = arb_total_assignment(&mut rng);
         let vars: Vec<Var> = (0..MAX_VAR).map(Var::new).collect();
         let cube = asg.to_cube(vars);
-        prop_assert!(asg.satisfies_cube(&cube));
-        prop_assert!(!cube.is_contradictory());
+        assert!(asg.satisfies_cube(&cube), "seed {seed}");
+        assert!(!cube.is_contradictory(), "seed {seed}");
     }
 }

@@ -27,9 +27,8 @@ use plic3_logic::{Assignment, Cnf, Lit};
 pub fn brute_force_sat(num_vars: usize, cnf: &Cnf, assumptions: &[Lit]) -> Option<Assignment> {
     assert!(num_vars <= 24, "brute force limited to 24 variables");
     for bits in 0u64..(1u64 << num_vars) {
-        let assignment = Assignment::from_values(
-            (0..num_vars).map(|i| Some(bits >> i & 1 == 1)).collect(),
-        );
+        let assignment =
+            Assignment::from_values((0..num_vars).map(|i| Some(bits >> i & 1 == 1)).collect());
         if assumptions
             .iter()
             .all(|&l| assignment.eval_lit(l) == Some(true))

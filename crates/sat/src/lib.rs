@@ -38,8 +38,10 @@ mod dimacs;
 mod heap;
 mod solver;
 mod stats;
+mod stop;
 
 pub use brute::brute_force_sat;
 pub use dimacs::{parse_dimacs, ParseDimacsError};
 pub use solver::{SatResult, Solver, SolverConfig};
 pub use stats::SolverStats;
+pub use stop::StopFlag;

@@ -2,6 +2,7 @@
 
 use crate::heap::ActivityHeap;
 use crate::stats::SolverStats;
+use crate::stop::StopFlag;
 use plic3_logic::{Clause, Lit, Var};
 use std::fmt;
 
@@ -118,6 +119,7 @@ pub struct Solver {
     conflict_core: Vec<Lit>,
     model: Vec<Option<bool>>,
     conflict_budget: Option<u64>,
+    stop: StopFlag,
     stats: SolverStats,
 }
 
@@ -167,6 +169,7 @@ impl Solver {
             conflict_core: Vec::new(),
             model: Vec::new(),
             conflict_budget: None,
+            stop: StopFlag::new(),
             stats: SolverStats::new(),
         }
     }
@@ -234,6 +237,15 @@ impl Solver {
     /// [`SatResult::Unknown`].
     pub fn set_conflict_budget(&mut self, budget: Option<u64>) {
         self.conflict_budget = budget;
+    }
+
+    /// Installs a shared cancellation flag, polled inside the search loop.
+    ///
+    /// Once the flag is raised (possibly from another thread), the current and
+    /// every future [`Solver::solve`] call returns [`SatResult::Unknown`]
+    /// promptly instead of running to completion.
+    pub fn set_stop_flag(&mut self, stop: StopFlag) {
+        self.stop = stop;
     }
 
     /// Adds a clause given as an iterator of literals.
@@ -682,8 +694,7 @@ impl Solver {
     fn clause_is_locked(&self, cref: ClauseRef) -> bool {
         let c = &self.clauses[cref as usize];
         let first = c.lits[0];
-        self.lit_value(first) == Some(true)
-            && self.vardata[first.var().index()].reason == cref
+        self.lit_value(first) == Some(true) && self.vardata[first.var().index()].reason == cref
     }
 
     fn reduce_db(&mut self) {
@@ -763,8 +774,11 @@ impl Solver {
                         return None;
                     }
                 }
-                let limit =
-                    self.config.max_learnts_base + self.stats.original_clauses as usize / 3;
+                if self.stop.is_stopped() {
+                    self.cancel_until(0);
+                    return None;
+                }
+                let limit = self.config.max_learnts_base + self.stats.original_clauses as usize / 3;
                 if self.learnts.len() > limit {
                     self.reduce_db();
                 }
@@ -805,7 +819,9 @@ impl Solver {
     /// After [`SatResult::Sat`], the model is available through
     /// [`Solver::model_value`]. After [`SatResult::Unsat`],
     /// [`Solver::unsat_core`] returns the subset of assumptions that was used.
-    /// [`SatResult::Unknown`] is only returned when a conflict budget is set.
+    /// [`SatResult::Unknown`] is only returned when a conflict budget is set
+    /// ([`Solver::set_conflict_budget`]) or a stop flag has been raised
+    /// ([`Solver::set_stop_flag`]).
     pub fn solve(&mut self, assumptions: &[Lit]) -> SatResult {
         self.stats.solves += 1;
         self.model.clear();
@@ -837,6 +853,10 @@ impl Solver {
                     break;
                 }
                 None => {
+                    if self.stop.is_stopped() {
+                        result = SatResult::Unknown;
+                        break;
+                    }
                     self.stats.restarts += 1;
                     restarts += 1;
                     if let Some(budget) = self.conflict_budget {
@@ -982,6 +1002,32 @@ mod tests {
         s.set_conflict_budget(Some(5));
         assert_eq!(s.solve(&[]), SatResult::Unknown);
         s.set_conflict_budget(None);
+        assert_eq!(s.solve(&[]), SatResult::Unsat);
+    }
+
+    #[test]
+    fn raised_stop_flag_returns_unknown() {
+        let mut s = Solver::new();
+        let n = 8u32; // pigeons
+        let m = 7u32; // holes
+        let var = |i: u32, j: u32| Lit::pos(Var::new(i * m + j));
+        s.ensure_vars((n * m) as usize);
+        for i in 0..n {
+            s.add_clause((0..m).map(|j| var(i, j)));
+        }
+        for j in 0..m {
+            for i1 in 0..n {
+                for i2 in (i1 + 1)..n {
+                    s.add_clause([!var(i1, j), !var(i2, j)]);
+                }
+            }
+        }
+        let stop = StopFlag::new();
+        s.set_stop_flag(stop.clone());
+        stop.stop();
+        assert_eq!(s.solve(&[]), SatResult::Unknown);
+        // A fresh flag lets the same solver finish the proof.
+        s.set_stop_flag(StopFlag::new());
         assert_eq!(s.solve(&[]), SatResult::Unsat);
     }
 

@@ -89,7 +89,13 @@ mod tests {
     #[test]
     fn display_mentions_all_counters() {
         let s = SolverStats::new().to_string();
-        for key in ["solves", "conflicts", "decisions", "propagations", "restarts"] {
+        for key in [
+            "solves",
+            "conflicts",
+            "decisions",
+            "propagations",
+            "restarts",
+        ] {
             assert!(s.contains(key), "missing {key} in {s}");
         }
     }

@@ -1,28 +1,43 @@
 //! Differential testing of the CDCL solver against the exhaustive reference
 //! solver on random small formulas, with and without assumptions, including
 //! incremental use and unsat-core checks.
+//!
+//! The formulas come from a deterministic seeded generator (the workspace is
+//! dependency-free, so no proptest); every failing case is reproducible from
+//! the seed reported in the assertion message.
 
-use plic3_logic::{Clause, Cnf, Lit, Var};
+use plic3_logic::{Clause, Cnf, Lit, SplitMix64 as Rng, Var};
 use plic3_sat::{brute_force_sat, SatResult, Solver};
-use proptest::prelude::*;
+use std::collections::BTreeMap;
 
 const MAX_VAR: u32 = 10;
+const CASES: u64 = 256;
 
-fn arb_lit() -> impl Strategy<Value = Lit> {
-    (0..MAX_VAR, any::<bool>()).prop_map(|(v, pos)| Lit::new(Var::new(v), pos))
+fn arb_lit(rng: &mut Rng) -> Lit {
+    Lit::new(Var::new(rng.below(MAX_VAR as u64) as u32), rng.bool())
 }
 
-fn arb_clause() -> impl Strategy<Value = Clause> {
-    prop::collection::vec(arb_lit(), 1..5).prop_map(Clause::from_lits)
+fn arb_clause(rng: &mut Rng) -> Clause {
+    let len = 1 + rng.below(4) as usize;
+    Clause::from_lits((0..len).map(|_| arb_lit(rng)))
 }
 
-fn arb_cnf() -> impl Strategy<Value = Cnf> {
-    prop::collection::vec(arb_clause(), 0..30).prop_map(Cnf::from_clauses)
+fn arb_cnf(rng: &mut Rng) -> Cnf {
+    let len = rng.below(30) as usize;
+    Cnf::from_clauses((0..len).map(|_| arb_clause(rng)))
 }
 
-fn arb_assumptions() -> impl Strategy<Value = Vec<Lit>> {
-    prop::collection::btree_map(0..MAX_VAR, any::<bool>(), 0..4)
-        .prop_map(|m| m.into_iter().map(|(v, p)| Lit::new(Var::new(v), p)).collect())
+/// Up to 3 assumption literals over distinct variables.
+fn arb_assumptions(rng: &mut Rng) -> Vec<Lit> {
+    let len = rng.below(4) as usize;
+    let mut polarities: BTreeMap<u32, bool> = BTreeMap::new();
+    for _ in 0..len {
+        polarities.insert(rng.below(MAX_VAR as u64) as u32, rng.bool());
+    }
+    polarities
+        .into_iter()
+        .map(|(v, p)| Lit::new(Var::new(v), p))
+        .collect()
 }
 
 fn load(cnf: &Cnf) -> Solver {
@@ -34,59 +49,83 @@ fn load(cnf: &Cnf) -> Solver {
     solver
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn agrees_with_brute_force(cnf in arb_cnf()) {
+#[test]
+fn agrees_with_brute_force() {
+    let mut rng = Rng::new(0xb001);
+    for seed in 0..CASES {
+        let cnf = arb_cnf(&mut rng);
         let mut solver = load(&cnf);
         let expected = brute_force_sat(MAX_VAR as usize, &cnf, &[]).is_some();
         let got = solver.solve(&[]);
-        prop_assert_eq!(got, if expected { SatResult::Sat } else { SatResult::Unsat });
+        assert_eq!(
+            got,
+            if expected {
+                SatResult::Sat
+            } else {
+                SatResult::Unsat
+            },
+            "seed {seed}: {cnf}"
+        );
         if got == SatResult::Sat {
             // The reported model must satisfy every clause.
             for clause in &cnf {
-                prop_assert!(
-                    clause.iter().any(|l| solver.model_value_lit(l) == Some(true)),
-                    "model does not satisfy {}", clause
+                assert!(
+                    clause
+                        .iter()
+                        .any(|l| solver.model_value_lit(l) == Some(true)),
+                    "seed {seed}: model does not satisfy {clause}"
                 );
             }
         }
     }
+}
 
-    #[test]
-    fn agrees_with_brute_force_under_assumptions(
-        cnf in arb_cnf(),
-        assumptions in arb_assumptions(),
-    ) {
+#[test]
+fn agrees_with_brute_force_under_assumptions() {
+    let mut rng = Rng::new(0xb002);
+    for seed in 0..CASES {
+        let cnf = arb_cnf(&mut rng);
+        let assumptions = arb_assumptions(&mut rng);
         let mut solver = load(&cnf);
         let expected = brute_force_sat(MAX_VAR as usize, &cnf, &assumptions).is_some();
         let got = solver.solve(&assumptions);
-        prop_assert_eq!(got, if expected { SatResult::Sat } else { SatResult::Unsat });
+        assert_eq!(
+            got,
+            if expected {
+                SatResult::Sat
+            } else {
+                SatResult::Unsat
+            },
+            "seed {seed}: {cnf} under {assumptions:?}"
+        );
         if got == SatResult::Sat {
             for &a in &assumptions {
-                prop_assert_eq!(solver.model_value_lit(a), Some(true));
+                assert_eq!(solver.model_value_lit(a), Some(true), "seed {seed}");
             }
         } else {
             // The unsat core must be a subset of the assumptions and itself
             // sufficient for unsatisfiability.
             let core: Vec<Lit> = solver.unsat_core().to_vec();
             for l in &core {
-                prop_assert!(assumptions.contains(l));
+                assert!(assumptions.contains(l), "seed {seed}");
             }
-            prop_assert!(brute_force_sat(MAX_VAR as usize, &cnf, &core).is_none(),
-                "core {:?} is not sufficient for unsat", core);
+            assert!(
+                brute_force_sat(MAX_VAR as usize, &cnf, &core).is_none(),
+                "seed {seed}: core {core:?} is not sufficient for unsat"
+            );
         }
     }
+}
 
-    #[test]
-    fn incremental_solving_matches_monolithic(
-        cnf1 in arb_cnf(),
-        cnf2 in arb_cnf(),
-        assumptions in arb_assumptions(),
-    ) {
-        // Solve cnf1, then add cnf2 and solve again: the second answer must match
-        // a fresh solver on cnf1 ∧ cnf2.
+#[test]
+fn incremental_solving_matches_monolithic() {
+    let mut rng = Rng::new(0xb003);
+    for seed in 0..CASES {
+        let cnf1 = arb_cnf(&mut rng);
+        let cnf2 = arb_cnf(&mut rng);
+        let assumptions = arb_assumptions(&mut rng);
+        // Solve cnf1, then add cnf2 and solve again: the second answer must
+        // match a fresh solver on cnf1 ∧ cnf2.
         let mut solver = load(&cnf1);
         let _ = solver.solve(&[]);
         for clause in &cnf2 {
@@ -95,20 +134,41 @@ proptest! {
         let combined: Cnf = cnf1.iter().chain(cnf2.iter()).cloned().collect();
         let expected = brute_force_sat(MAX_VAR as usize, &combined, &assumptions).is_some();
         let got = solver.solve(&assumptions);
-        prop_assert_eq!(got, if expected { SatResult::Sat } else { SatResult::Unsat });
+        assert_eq!(
+            got,
+            if expected {
+                SatResult::Sat
+            } else {
+                SatResult::Unsat
+            },
+            "seed {seed}"
+        );
     }
+}
 
-    #[test]
-    fn repeated_solves_are_consistent(cnf in arb_cnf(), assumptions in arb_assumptions()) {
+#[test]
+fn repeated_solves_are_consistent() {
+    let mut rng = Rng::new(0xb004);
+    for seed in 0..CASES {
+        let cnf = arb_cnf(&mut rng);
+        let assumptions = arb_assumptions(&mut rng);
         // Solving twice with the same assumptions must give the same verdict
         // (exercises trail cleanup / phase saving interactions).
         let mut solver = load(&cnf);
         let first = solver.solve(&assumptions);
         let second = solver.solve(&assumptions);
-        prop_assert_eq!(first, second);
+        assert_eq!(first, second, "seed {seed}");
         // And an unconstrained solve afterwards agrees with brute force.
         let expected = brute_force_sat(MAX_VAR as usize, &cnf, &[]).is_some();
         let third = solver.solve(&[]);
-        prop_assert_eq!(third, if expected { SatResult::Sat } else { SatResult::Unsat });
+        assert_eq!(
+            third,
+            if expected {
+                SatResult::Sat
+            } else {
+                SatResult::Unsat
+            },
+            "seed {seed}"
+        );
     }
 }

@@ -94,8 +94,8 @@ impl TransitionSystem {
         // The AIG constant variable 0 maps so that literal 1 (TRUE) becomes the
         // positive constant literal and literal 0 (FALSE) its negation.
         let map_lit = |lit: AigLit| -> Lit {
-            let base = var_map[lit.variable() as usize]
-                .expect("literal outside the cone of influence");
+            let base =
+                var_map[lit.variable() as usize].expect("literal outside the cone of influence");
             if lit.variable() == 0 {
                 // AIG code 1 = TRUE  -> +const, code 0 = FALSE -> -const.
                 base.with_polarity(lit.code() == 1)
@@ -289,7 +289,11 @@ mod tests {
         b.add_bad(both);
         let ts = TransitionSystem::from_aig(&b.build());
         assert_eq!(ts.num_latches(), 2);
-        assert_eq!(ts.init_cube().len(), 1, "only the initialized latch is constrained");
+        assert_eq!(
+            ts.init_cube().len(),
+            1,
+            "only the initialized latch is constrained"
+        );
     }
 
     #[test]

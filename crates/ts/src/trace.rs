@@ -172,16 +172,10 @@ impl Trace {
     /// literals a SAT model may have contributed) — a defensive normalization
     /// used before replaying.
     pub fn normalized(&self, ts: &TransitionSystem) -> Trace {
-        let keep_state = |cube: &Cube| -> Cube {
-            cube.iter()
-                .filter(|l| ts.is_latch_var(l.var()))
-                .collect()
-        };
-        let keep_input = |cube: &Cube| -> Cube {
-            cube.iter()
-                .filter(|l| ts.is_input_var(l.var()))
-                .collect()
-        };
+        let keep_state =
+            |cube: &Cube| -> Cube { cube.iter().filter(|l| ts.is_latch_var(l.var())).collect() };
+        let keep_input =
+            |cube: &Cube| -> Cube { cube.iter().filter(|l| ts.is_input_var(l.var())).collect() };
         Trace {
             states: self.states.iter().map(keep_state).collect(),
             inputs: self.inputs.iter().map(keep_input).collect(),
@@ -190,11 +184,7 @@ impl Trace {
 
     /// Convenience constructor used in tests: a trace over explicit latch bit
     /// patterns and input bit patterns.
-    pub fn from_bits(
-        ts: &TransitionSystem,
-        states: &[&[bool]],
-        inputs: &[&[bool]],
-    ) -> Self {
+    pub fn from_bits(ts: &TransitionSystem, states: &[&[bool]], inputs: &[&[bool]]) -> Self {
         let states = states
             .iter()
             .map(|bits| {
@@ -268,11 +258,7 @@ mod tests {
         let aig = counter_aig();
         let ts = TransitionSystem::from_aig(&aig);
         // Inputs never enable the counter: never reaches 11.
-        let trace = Trace::from_bits(
-            &ts,
-            &[&[false, false], &[false, false]],
-            &[&[false]],
-        );
+        let trace = Trace::from_bits(&ts, &[&[false, false], &[false, false]], &[&[false]]);
         assert!(!trace.replay_on_aig(&ts, &aig));
         assert!(!Trace::default().replay_on_aig(&ts, &aig));
     }
@@ -280,7 +266,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "k+1 states")]
     fn mismatched_lengths_panic() {
-        let _ = Trace::new(vec![Cube::top()], vec![Cube::top(), Cube::top(), Cube::top()]);
+        let _ = Trace::new(
+            vec![Cube::top()],
+            vec![Cube::top(), Cube::top(), Cube::top()],
+        );
     }
 
     #[test]

@@ -222,9 +222,11 @@ impl TransitionSystem {
     /// Extracts the successor-state cube (over current-state variables) from a
     /// SAT model by reading the primed variables.
     pub fn next_state_cube_from(&self, model: impl Fn(Var) -> Option<bool>) -> Cube {
-        Cube::from_lits((0..self.num_latches).filter_map(|i| {
-            model(self.primed_var(i)).map(|val| Lit::new(self.latch_var(i), val))
-        }))
+        Cube::from_lits(
+            (0..self.num_latches).filter_map(|i| {
+                model(self.primed_var(i)).map(|val| Lit::new(self.latch_var(i), val))
+            }),
+        )
     }
 
     /// Extracts the input cube from a SAT model.
@@ -341,10 +343,7 @@ mod tests {
     #[test]
     fn priming_roundtrip() {
         let ts = two_bit_counter();
-        let cube = Cube::from_lits([
-            Lit::pos(ts.latch_var(0)),
-            Lit::neg(ts.latch_var(1)),
-        ]);
+        let cube = Cube::from_lits([Lit::pos(ts.latch_var(0)), Lit::neg(ts.latch_var(1))]);
         let primed = ts.prime_cube(&cube);
         assert!(primed.iter().all(|l| ts.is_primed_var(l.var())));
         assert_eq!(ts.unprime_cube(&primed), cube);

@@ -1,12 +1,17 @@
 //! Differential property test: the Tseitin-encoded transition relation must
 //! agree, transition by transition, with the cycle-accurate AIG simulator on
 //! randomly generated circuits.
+//!
+//! The circuits come from a deterministic seeded generator (the workspace is
+//! dependency-free, so no proptest); failures report the seed that produced
+//! the circuit.
 
 use plic3_aig::{AigBuilder, AigLit, Simulator};
-use plic3_logic::Lit;
+use plic3_logic::{Lit, SplitMix64 as Rng};
 use plic3_sat::{SatResult, Solver};
 use plic3_ts::TransitionSystem;
-use proptest::prelude::*;
+
+const CASES: u64 = 48;
 
 /// A reproducible random circuit description: gate operands are indices into
 /// the pool of already-available nodes.
@@ -22,26 +27,25 @@ struct CircuitSpec {
     init: Vec<bool>,
 }
 
-fn arb_spec() -> impl Strategy<Value = CircuitSpec> {
-    (2usize..5, 1usize..3, 0usize..12).prop_flat_map(|(latches, inputs, num_gates)| {
-        let pool0 = 1 + latches + inputs; // constant + latches + inputs
-        let gates = prop::collection::vec(
-            (0usize..pool0 + num_gates, any::<bool>(), 0usize..pool0 + num_gates, any::<bool>()),
-            num_gates,
-        );
-        let nexts = prop::collection::vec((0usize..pool0 + num_gates, any::<bool>()), latches);
-        let bad = (0usize..pool0 + num_gates, any::<bool>());
-        let init = prop::collection::vec(any::<bool>(), latches);
-        (Just(inputs), gates, nexts, bad, init).prop_map(
-            |(inputs, gates, nexts, bad, init)| CircuitSpec {
-                inputs,
-                gates,
-                nexts,
-                bad,
-                init,
-            },
-        )
-    })
+fn arb_spec(rng: &mut Rng) -> CircuitSpec {
+    let latches = rng.range(2, 5) as usize;
+    let inputs = rng.range(1, 3) as usize;
+    let num_gates = rng.below(12) as usize;
+    let pool0 = 1 + latches + inputs; // constant + latches + inputs
+    let operand = |rng: &mut Rng| (rng.below((pool0 + num_gates) as u64) as usize, rng.bool());
+    CircuitSpec {
+        inputs,
+        gates: (0..num_gates)
+            .map(|_| {
+                let (x, nx) = operand(rng);
+                let (y, ny) = operand(rng);
+                (x, nx, y, ny)
+            })
+            .collect(),
+        nexts: (0..latches).map(|_| operand(rng)).collect(),
+        bad: operand(rng),
+        init: (0..latches).map(|_| rng.bool()).collect(),
+    }
 }
 
 /// Materializes a spec into an AIG. Operand indices are clamped to the part of
@@ -65,18 +69,20 @@ fn build(spec: &CircuitSpec) -> plic3_aig::Aig {
     b.build()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+/// For every random circuit, random starting state, and random input
+/// sequence, the successor computed by the simulator is the unique
+/// successor admitted by the CNF transition relation.
+#[test]
+fn transition_relation_matches_simulator() {
+    let mut rng = Rng::new(0x75_0001);
+    for seed in 0..CASES {
+        let spec = arb_spec(&mut rng);
+        let start: Vec<bool> = (0..8).map(|_| rng.bool()).collect();
+        let num_steps = rng.range(1, 4) as usize;
+        let steps: Vec<Vec<bool>> = (0..num_steps)
+            .map(|_| (0..4).map(|_| rng.bool()).collect())
+            .collect();
 
-    /// For every random circuit, random starting state, and random input
-    /// sequence, the successor computed by the simulator is the unique
-    /// successor admitted by the CNF transition relation.
-    #[test]
-    fn transition_relation_matches_simulator(
-        spec in arb_spec(),
-        start in prop::collection::vec(any::<bool>(), 8),
-        steps in prop::collection::vec(prop::collection::vec(any::<bool>(), 4), 1..4),
-    ) {
         let aig = build(&spec);
         let ts = TransitionSystem::from_aig(&aig);
         let mut solver = Solver::new();
@@ -110,40 +116,46 @@ proptest! {
                 assumptions.push(Lit::new(ts.latch_var(i), v));
             }
             for i in 0..ts.num_inputs() {
-                assumptions.push(Lit::new(ts.input_var(i), full_inputs[ts.aig_input_index(i)]));
+                assumptions.push(Lit::new(
+                    ts.input_var(i),
+                    full_inputs[ts.aig_input_index(i)],
+                ));
             }
             let state_and_inputs = assumptions.clone();
             for (i, &v) in next.iter().enumerate() {
                 assumptions.push(Lit::new(ts.primed_var(i), v));
             }
-            prop_assert_eq!(
+            assert_eq!(
                 solver.solve(&assumptions),
                 SatResult::Sat,
-                "simulator successor rejected by the transition relation"
+                "seed {seed}: simulator successor rejected by the transition relation"
             );
             // And it is the *only* successor: flipping any single primed bit is
             // inconsistent with the (deterministic) transition relation.
             for (i, &v) in next.iter().enumerate() {
                 let mut flipped = state_and_inputs.clone();
                 flipped.push(Lit::new(ts.primed_var(i), !v));
-                prop_assert_eq!(
+                assert_eq!(
                     solver.solve(&flipped),
                     SatResult::Unsat,
-                    "transition relation admits a second successor"
+                    "seed {seed}: transition relation admits a second successor"
                 );
             }
             current = next;
         }
     }
+}
 
-    /// The bad literal of the encoding agrees with the simulator's bad output
-    /// in the very first step.
-    #[test]
-    fn bad_literal_matches_simulator(
-        spec in arb_spec(),
-        start in prop::collection::vec(any::<bool>(), 8),
-        inputs in prop::collection::vec(any::<bool>(), 4),
-    ) {
+/// The bad literal of the encoding agrees with the simulator's bad output
+/// in the very first step.
+#[test]
+fn bad_literal_matches_simulator() {
+    let mut rng = Rng::new(0x75_0002);
+    for seed in 0..CASES {
+        let spec = arb_spec(&mut rng);
+        let start: Vec<bool> = (0..8).map(|_| rng.bool()).collect();
+        let inputs: Vec<bool> = (0..4).map(|_| rng.bool()).collect();
+
         let aig = build(&spec);
         let ts = TransitionSystem::from_aig(&aig);
         let full_state: Vec<bool> = (0..aig.num_latches())
@@ -153,7 +165,7 @@ proptest! {
             .map(|i| inputs.get(i).copied().unwrap_or(false))
             .collect();
         let mut sim = Simulator::from_state(&aig, full_state.clone());
-        let observed_bad = sim.step(&full_inputs).any_bad();
+        let observed_bad = sim.step(&full_inputs).property_violated();
 
         let mut solver = Solver::new();
         solver.ensure_vars(ts.num_vars());
@@ -165,13 +177,23 @@ proptest! {
             assumptions.push(Lit::new(ts.latch_var(i), full_state[ts.aig_latch_index(i)]));
         }
         for i in 0..ts.num_inputs() {
-            assumptions.push(Lit::new(ts.input_var(i), full_inputs[ts.aig_input_index(i)]));
+            assumptions.push(Lit::new(
+                ts.input_var(i),
+                full_inputs[ts.aig_input_index(i)],
+            ));
         }
-        assumptions.push(if observed_bad { ts.bad_lit() } else { !ts.bad_lit() });
-        prop_assert_eq!(solver.solve(&assumptions), SatResult::Sat);
+        assumptions.push(if observed_bad {
+            ts.bad_lit()
+        } else {
+            !ts.bad_lit()
+        });
+        assert_eq!(solver.solve(&assumptions), SatResult::Sat, "seed {seed}");
         // The opposite polarity must be impossible.
-        *assumptions.last_mut().expect("non-empty") =
-            if observed_bad { !ts.bad_lit() } else { ts.bad_lit() };
-        prop_assert_eq!(solver.solve(&assumptions), SatResult::Unsat);
+        *assumptions.last_mut().expect("non-empty") = if observed_bad {
+            !ts.bad_lit()
+        } else {
+            ts.bad_lit()
+        };
+        assert_eq!(solver.solve(&assumptions), SatResult::Unsat, "seed {seed}");
     }
 }

@@ -41,7 +41,11 @@ fn main() {
             ExpectedResult::Safe => {
                 assert!(ic3_result.is_safe(), "IC3 wrong on {}", bench.name());
                 assert!(!bmc_result.is_unsafe(), "BMC wrong on {}", bench.name());
-                assert!(!kind_result.is_unsafe(), "k-induction wrong on {}", bench.name());
+                assert!(
+                    !kind_result.is_unsafe(),
+                    "k-induction wrong on {}",
+                    bench.name()
+                );
             }
             ExpectedResult::Unsafe { .. } => {
                 assert!(ic3_result.is_unsafe(), "IC3 wrong on {}", bench.name());

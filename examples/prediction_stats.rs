@@ -11,7 +11,9 @@ use plic3_repro::ic3::{Config, Ic3};
 use std::time::Instant;
 
 fn main() {
-    let family = std::env::args().nth(1).unwrap_or_else(|| "counter".to_string());
+    let family = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "counter".to_string());
     let suite = Suite::hwmcc_like().filter(|b| b.family() == family);
     if suite.is_empty() {
         eprintln!("unknown family '{family}'");

@@ -30,7 +30,10 @@ fn main() {
 
     for (label, config) in [
         ("baseline IC3        ", Config::ric3_like()),
-        ("IC3 + lemma predict ", Config::ric3_like().with_lemma_prediction(true)),
+        (
+            "IC3 + lemma predict ",
+            Config::ric3_like().with_lemma_prediction(true),
+        ),
     ] {
         let mut engine = Ic3::from_aig(&aig, config);
         let result = engine.check();
@@ -40,12 +43,18 @@ fn main() {
             stats.relative_queries, stats.generalizations
         );
         if let Some(sr_adv) = stats.sr_adv() {
-            print!(", avoided dropping in {:.1}% of generalizations", 100.0 * sr_adv);
+            print!(
+                ", avoided dropping in {:.1}% of generalizations",
+                100.0 * sr_adv
+            );
         }
         println!();
         if let Some(cert) = result.certificate() {
             verify_certificate(engine.ts(), cert).expect("certificate must verify");
-            println!("    certificate with {} lemmas verified independently", cert.len());
+            println!(
+                "    certificate with {} lemmas verified independently",
+                cert.len()
+            );
         }
     }
 }

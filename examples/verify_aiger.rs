@@ -47,7 +47,10 @@ fn main() -> Result<(), Box<dyn Error>> {
         Some(path) => std::path::PathBuf::from(path),
         None => {
             let path = demo_circuit_path()?;
-            println!("no input given, using generated demo circuit {}", path.display());
+            println!(
+                "no input given, using generated demo circuit {}",
+                path.display()
+            );
             path
         }
     };

@@ -35,6 +35,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+/// The IC3/PDR engine with CTP-based lemma prediction (the core crate).
+pub use plic3 as ic3;
 pub use plic3_aig as aig;
 pub use plic3_benchmarks as benchmarks;
 pub use plic3_bmc as bmc;
@@ -42,5 +44,3 @@ pub use plic3_harness as harness;
 pub use plic3_logic as logic;
 pub use plic3_sat as sat;
 pub use plic3_ts as ts;
-/// The IC3/PDR engine with CTP-based lemma prediction (the core crate).
-pub use plic3 as ic3;

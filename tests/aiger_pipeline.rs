@@ -14,10 +14,20 @@ fn every_benchmark_roundtrips_through_both_aiger_formats() {
         let original = bench.aig();
         let ascii = parse_aiger(original.to_ascii().as_bytes())
             .unwrap_or_else(|e| panic!("{}: ascii roundtrip failed: {e}", bench.name()));
-        assert_eq!(&ascii, original, "{}: ascii roundtrip differs", bench.name());
+        assert_eq!(
+            &ascii,
+            original,
+            "{}: ascii roundtrip differs",
+            bench.name()
+        );
         let binary = parse_aiger(&original.to_binary())
             .unwrap_or_else(|e| panic!("{}: binary roundtrip failed: {e}", bench.name()));
-        assert_eq!(&binary, original, "{}: binary roundtrip differs", bench.name());
+        assert_eq!(
+            &binary,
+            original,
+            "{}: binary roundtrip differs",
+            bench.name()
+        );
     }
 }
 
@@ -45,6 +55,24 @@ fn verdicts_are_identical_for_parsed_and_in_memory_circuits() {
             bench.name()
         );
     }
+}
+
+#[test]
+fn output_only_aiger_1_0_circuit_is_checked_and_its_trace_replays() {
+    // AIGER 1.0 / early-HWMCC files express the property as an *output*, not a
+    // bad literal. A toggling latch exposed through an output: unsafe after one
+    // step, and the counterexample must replay on the original circuit.
+    use plic3_repro::ic3::verify_trace;
+    let aig = parse_aiger(b"aag 1 0 1 1 0\n2 3\n2\n").expect("valid AIGER 1.0 file");
+    assert_eq!(aig.num_bad(), 0);
+    assert_eq!(aig.num_outputs(), 1);
+    let mut engine = Ic3::from_aig(&aig, Config::ric3_like());
+    let result = engine.check();
+    let trace = result.trace().expect("the toggle reaches the output");
+    assert!(
+        verify_trace(engine.ts(), &aig, trace),
+        "trace on an output-only circuit must replay"
+    );
 }
 
 #[test]

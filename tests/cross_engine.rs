@@ -12,7 +12,10 @@ fn all_configs() -> Vec<(&'static str, Config)> {
         ("ric3", Config::ric3_like()),
         ("ric3-pl", Config::ric3_like().with_lemma_prediction(true)),
         ("ic3ref", Config::ic3ref_like()),
-        ("ic3ref-pl", Config::ic3ref_like().with_lemma_prediction(true)),
+        (
+            "ic3ref-pl",
+            Config::ic3ref_like().with_lemma_prediction(true),
+        ),
         ("cav23", Config::cav23_like()),
         ("pdr", Config::pdr_like()),
     ]

@@ -13,6 +13,7 @@ fn mini_experiment() -> (Suite, plic3_repro::harness::ExperimentData, RunnerConf
         timeout: Duration::from_secs(10),
         max_conflicts: Some(500_000),
         fast_case_threshold: Duration::ZERO,
+        ..RunnerConfig::default()
     };
     let data = run_experiment(&suite, &Configuration::all(), &runner);
     (suite, data, runner)
@@ -22,7 +23,11 @@ fn mini_experiment() -> (Suite, plic3_repro::harness::ExperimentData, RunnerConf
 fn all_tables_and_figures_can_be_built_from_one_run() {
     let (suite, data, runner) = mini_experiment();
     assert_eq!(data.results.len(), suite.len() * 6);
-    assert_eq!(data.wrong_verdicts(), 0, "a configuration returned a wrong verdict");
+    assert_eq!(
+        data.wrong_verdicts(),
+        0,
+        "a configuration returned a wrong verdict"
+    );
     for result in &data.results {
         assert!(result.verified, "{}: unverified verdict", result.benchmark);
     }
@@ -32,7 +37,12 @@ fn all_tables_and_figures_can_be_built_from_one_run() {
     assert_eq!(t1.rows.len(), 6);
     let (expected_safe, expected_unsafe) = suite.expected_counts();
     for row in &t1.rows {
-        assert_eq!(row.solved, suite.len(), "{} timed out on the quick suite", row.configuration);
+        assert_eq!(
+            row.solved,
+            suite.len(),
+            "{} timed out on the quick suite",
+            row.configuration
+        );
         assert_eq!(row.safe, expected_safe);
         assert_eq!(row.unsafe_, expected_unsafe);
     }
@@ -82,7 +92,12 @@ fn ablation_report_runs_on_a_tiny_suite() {
     let report = ablation::run(&suite, &ablation::default_variants(), &runner);
     assert_eq!(report.rows.len(), ablation::default_variants().len());
     for row in &report.rows {
-        assert_eq!(row.solved, suite.len(), "{} failed on the tiny suite", row.name);
+        assert_eq!(
+            row.solved,
+            suite.len(),
+            "{} failed on the tiny suite",
+            row.name
+        );
     }
     let rendered = ablation::render(&report);
     assert!(rendered.contains("no prediction"));

@@ -19,8 +19,12 @@ fn run(bench: &plic3_repro::benchmarks::Benchmark, config: Config) -> (bool, Sta
 #[test]
 fn prediction_never_changes_the_verdict() {
     for bench in &Suite::quick() {
-        for base in [Config::ric3_like(), Config::ic3ref_like(), Config::pdr_like()] {
-            let (safe_base, _) = run(bench, base);
+        for base in [
+            Config::ric3_like(),
+            Config::ic3ref_like(),
+            Config::pdr_like(),
+        ] {
+            let (safe_base, _) = run(bench, base.clone());
             let (safe_pl, _) = run(bench, base.with_lemma_prediction(true));
             assert_eq!(
                 safe_base,
@@ -37,13 +41,22 @@ fn statistics_counters_are_internally_consistent() {
     for bench in &Suite::quick() {
         let (_, stats) = run(bench, Config::ric3_like().with_lemma_prediction(true));
         // N_sp <= N_p: every successful prediction needed at least one query.
-        assert!(stats.successful_predictions <= stats.predictions.max(stats.successful_predictions));
+        assert!(
+            stats.successful_predictions <= stats.predictions.max(stats.successful_predictions)
+        );
         // N_sp <= N_g and N_fp <= N_g by definition.
         assert!(stats.successful_predictions <= stats.generalizations);
         assert!(stats.found_failed_parents <= stats.generalizations);
         // Success rates, when defined, are proper ratios.
-        for rate in [stats.sr_lp(), stats.sr_fp(), stats.sr_adv()].into_iter().flatten() {
-            assert!((0.0..=1.0).contains(&rate), "rate out of range on {}", bench.name());
+        for rate in [stats.sr_lp(), stats.sr_fp(), stats.sr_adv()]
+            .into_iter()
+            .flatten()
+        {
+            assert!(
+                (0.0..=1.0).contains(&rate),
+                "rate out of range on {}",
+                bench.name()
+            );
         }
         // Every drop attempt is a relative query, so the totals must dominate.
         assert!(stats.relative_queries >= stats.mic_drop_attempts);
@@ -75,8 +88,7 @@ fn prediction_fires_and_saves_dropping_work_on_the_shift_family() {
     // parity instance is deliberately hard for the baseline (it is the case the
     // full experiment shows prediction winning outright) and would dominate the
     // test runtime.
-    let suite = Suite::hwmcc_like()
-        .filter(|b| b.family() == "shift" && b.ts().num_latches() <= 11);
+    let suite = Suite::hwmcc_like().filter(|b| b.family() == "shift" && b.ts().num_latches() <= 11);
     let mut fired_somewhere = false;
     let mut saved_somewhere = false;
     for bench in &suite {

@@ -63,9 +63,7 @@ fn engines_agree_on_random_circuits() {
                 );
             }
             CheckResult::Unsafe(trace) => {
-                let found = bmc
-                    .check(trace.len())
-                    .is_unsafe();
+                let found = bmc.check(trace.len()).is_unsafe();
                 assert!(
                     found,
                     "seed {seed}: BMC cannot reproduce the counterexample within {} steps",
@@ -110,9 +108,9 @@ fn all_configurations_agree_on_a_smaller_random_batch() {
     for seed in 100..115u64 {
         let aig = random_circuit(seed, shape);
         let ts = TransitionSystem::from_aig(&aig);
-        let reference = check(configs[0], ts.clone()).0.is_safe();
+        let reference = check(configs[0].clone(), ts.clone()).0.is_safe();
         for (i, config) in configs.iter().enumerate().skip(1) {
-            let verdict = check(*config, ts.clone()).0.is_safe();
+            let verdict = check(config.clone(), ts.clone()).0.is_safe();
             assert_eq!(
                 verdict, reference,
                 "seed {seed}: configuration #{i} disagrees with the reference"
