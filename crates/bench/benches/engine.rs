@@ -3,31 +3,11 @@
 //! experiment benches).
 
 use plic3::{Config, GeneralizeMode, Ic3};
+use plic3_bench::sat_workloads::{implication_chain, pigeonhole};
 use plic3_bench::timing::Criterion;
 use plic3_bench::{criterion_group, criterion_main, prediction_showcase};
 use plic3_bmc::{Bmc, KInduction};
-use plic3_logic::{Lit, Var};
-use plic3_sat::Solver;
 use std::hint::black_box;
-
-/// Pigeonhole formula: n+1 pigeons into n holes (unsatisfiable).
-fn pigeonhole(n: u32) -> Solver {
-    let mut solver = Solver::new();
-    let pigeons = n + 1;
-    let var = |p: u32, h: u32| Lit::pos(Var::new(p * n + h));
-    solver.ensure_vars((pigeons * n) as usize);
-    for p in 0..pigeons {
-        solver.add_clause((0..n).map(|h| var(p, h)));
-    }
-    for h in 0..n {
-        for p1 in 0..pigeons {
-            for p2 in (p1 + 1)..pigeons {
-                solver.add_clause([!var(p1, h), !var(p2, h)]);
-            }
-        }
-    }
-    solver
-}
 
 fn bench_sat(c: &mut Criterion) {
     c.bench_function("sat/pigeonhole_7", |b| {
@@ -35,6 +15,14 @@ fn bench_sat(c: &mut Criterion) {
             let mut solver = pigeonhole(7);
             black_box(solver.solve(&[]))
         })
+    });
+    // Raw propagation throughput: one long implication chain, re-propagated
+    // from scratch on every solve call (~100k propagations per iteration, no
+    // conflicts). `plic3-bench-sat` reports the same workload as
+    // propagations/s in BENCH_sat.json.
+    c.bench_function("sat/propagate_chain_100k", |b| {
+        let (mut solver, trigger) = implication_chain(100_000);
+        b.iter(|| black_box(solver.solve(&[trigger])))
     });
 }
 

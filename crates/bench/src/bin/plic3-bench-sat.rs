@@ -1,0 +1,146 @@
+//! `plic3-bench-sat` — measures the SAT backend's micro-benchmarks and writes
+//! a machine-readable `BENCH_sat.json`, so the perf trajectory of the solver
+//! is tracked from one PR to the next.
+//!
+//! ```text
+//! plic3-bench-sat [OPTIONS]
+//!
+//! Options:
+//!   --out <path>      where to write the JSON report (default: BENCH_sat.json)
+//!   --samples <n>     timed samples per benchmark (default: 20, or the
+//!                     PLIC3_BENCH_SAMPLES environment variable; an explicit
+//!                     --samples always wins)
+//! ```
+//!
+//! The JSON maps each benchmark to its median/min/mean nanoseconds, plus a
+//! `propagations_per_sec` figure for the propagation-throughput bench:
+//!
+//! ```json
+//! {
+//!   "schema": "plic3-bench-sat/v1",
+//!   "benches": {
+//!     "sat/pigeonhole_7": { "median_ns": 1234, ... },
+//!     "sat/propagate_chain_100k": { "median_ns": 1234, ..., "propagations_per_sec": 5.6e8 }
+//!   }
+//! }
+//! ```
+
+use plic3_bench::sat_workloads::{implication_chain, pigeonhole};
+use plic3_bench::timing::{BenchResult, Criterion};
+use plic3_sat::SatResult;
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::path::PathBuf;
+
+/// Length of the implication chain driven by the propagation bench.
+const CHAIN_LEN: usize = 100_000;
+
+struct Options {
+    out: PathBuf,
+    samples: Option<usize>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut options = Options {
+        out: PathBuf::from("BENCH_sat.json"),
+        samples: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => {
+                let value = args.next().ok_or("--out needs a path")?;
+                options.out = PathBuf::from(value);
+            }
+            "--samples" => {
+                let value = args.next().ok_or("--samples needs a value")?;
+                let samples: usize = value.parse().map_err(|_| "invalid --samples value")?;
+                if samples == 0 {
+                    return Err("--samples must be at least 1".to_string());
+                }
+                options.samples = Some(samples);
+            }
+            other => return Err(format!("unknown option '{other}'")),
+        }
+    }
+    Ok(options)
+}
+
+/// Runs the chain workload once to count how many propagations one timed
+/// iteration performs (the count is deterministic across iterations).
+fn chain_propagations() -> u64 {
+    let (mut solver, trigger) = implication_chain(CHAIN_LEN);
+    let before = solver.stats().propagations;
+    assert_eq!(solver.solve(&[trigger]), SatResult::Sat);
+    solver.stats().propagations - before
+}
+
+fn render_json(results: &[BenchResult], props_per_iter: u64) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"schema\": \"plic3-bench-sat/v1\",\n  \"benches\": {\n");
+    for (i, r) in results.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    \"{}\": {{ \"median_ns\": {}, \"min_ns\": {}, \"mean_ns\": {}, \"samples\": {}",
+            r.name,
+            r.median.as_nanos(),
+            r.min.as_nanos(),
+            r.mean.as_nanos(),
+            r.samples
+        );
+        if r.name.starts_with("sat/propagate_chain") && r.median.as_nanos() > 0 {
+            let per_sec = props_per_iter as f64 / r.median.as_secs_f64();
+            let _ = write!(out, ", \"propagations_per_sec\": {per_sec:.0}");
+        }
+        out.push_str(" }");
+        if i + 1 < results.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  }\n}\n");
+    out
+}
+
+fn main() {
+    let options = match parse_args() {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("error: {message}");
+            std::process::exit(2);
+        }
+    };
+    let props_per_iter = chain_propagations();
+    // An explicit --samples beats the PLIC3_BENCH_SAMPLES environment
+    // override; without it the environment (or the default of 20) applies.
+    let mut criterion = match options.samples {
+        Some(samples) => Criterion::with_sample_size(samples),
+        None => Criterion::default().sample_size(20),
+    };
+    criterion.bench_function("sat/pigeonhole_7", |b| {
+        b.iter(|| {
+            let mut solver = pigeonhole(7);
+            black_box(solver.solve(&[]))
+        })
+    });
+    criterion.bench_function("sat/propagate_chain_100k", |b| {
+        // The solver (and its clause arena) is built once; every iteration
+        // re-propagates the whole chain under the trigger assumption.
+        let (mut solver, trigger) = implication_chain(CHAIN_LEN);
+        b.iter(|| black_box(solver.solve(&[trigger])))
+    });
+    let json = render_json(criterion.results(), props_per_iter);
+    if let Some(result) = criterion
+        .results()
+        .iter()
+        .find(|r| r.name.starts_with("sat/propagate_chain"))
+    {
+        let per_sec = props_per_iter as f64 / result.median.as_secs_f64();
+        println!("{:<40} {per_sec:.3e} propagations/s", "sat/throughput");
+    }
+    if let Err(e) = std::fs::write(&options.out, &json) {
+        eprintln!("error: cannot write {:?}: {e}", options.out);
+        std::process::exit(1);
+    }
+    eprintln!("wrote {:?}", options.out);
+}

@@ -10,6 +10,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod sat_workloads;
 pub mod timing;
 
 use plic3_benchmarks::Suite;

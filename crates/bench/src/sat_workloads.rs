@@ -1,0 +1,65 @@
+//! Shared SAT formula constructors used by the `engine` micro-benchmarks and
+//! the `plic3-bench-sat` baseline emitter, so both measure the same workloads.
+
+use plic3_logic::{Lit, Var};
+use plic3_sat::Solver;
+
+/// Pigeonhole formula: `n + 1` pigeons into `n` holes (unsatisfiable).
+///
+/// The classic resolution-hard instance; its solve time is dominated by
+/// conflict analysis and learnt-clause management.
+pub fn pigeonhole(n: u32) -> Solver {
+    let mut solver = Solver::new();
+    let pigeons = n + 1;
+    let var = |p: u32, h: u32| Lit::pos(Var::new(p * n + h));
+    solver.ensure_vars((pigeons * n) as usize);
+    for p in 0..pigeons {
+        solver.add_clause((0..n).map(|h| var(p, h)));
+    }
+    for h in 0..n {
+        for p1 in 0..pigeons {
+            for p2 in (p1 + 1)..pigeons {
+                solver.add_clause([!var(p1, h), !var(p2, h)]);
+            }
+        }
+    }
+    solver
+}
+
+/// A long chained-implication formula `x_0 → x_1 → … → x_{n-1}`, returned with
+/// the trigger literal `x_0`.
+///
+/// Solving under the assumption `x_0` forces one unit propagation per link
+/// with no conflicts, so `solve(&[trigger])` isolates raw propagation /
+/// watch-list throughput: `n - 1` propagations per call, dominated by the
+/// two-watched-literal walk.
+pub fn implication_chain(n: usize) -> (Solver, Lit) {
+    assert!(n >= 2, "a chain needs at least two variables");
+    let mut solver = Solver::new();
+    let lits: Vec<Lit> = (0..n).map(|_| Lit::pos(solver.new_var())).collect();
+    for w in lits.windows(2) {
+        solver.add_clause([!w[0], w[1]]);
+    }
+    (solver, lits[0])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plic3_sat::SatResult;
+
+    #[test]
+    fn pigeonhole_is_unsat() {
+        let mut s = pigeonhole(3);
+        assert_eq!(s.solve(&[]), SatResult::Unsat);
+    }
+
+    #[test]
+    fn chain_propagates_every_link() {
+        let (mut s, trigger) = implication_chain(64);
+        let before = s.stats().propagations;
+        assert_eq!(s.solve(&[trigger]), SatResult::Sat);
+        let propagated = s.stats().propagations - before;
+        assert!(propagated >= 63, "expected ≥ 63 propagations: {propagated}");
+    }
+}

@@ -12,21 +12,62 @@
 
 use std::time::{Duration, Instant};
 
+/// Aggregated timings of one benchmark, kept by the driver so binaries can
+/// export machine-readable results (see `BENCH_sat.json`).
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    /// Group-qualified benchmark name, e.g. `sat/pigeonhole_7`.
+    pub name: String,
+    /// Fastest sample.
+    pub min: Duration,
+    /// Median sample.
+    pub median: Duration,
+    /// Mean over all samples.
+    pub mean: Duration,
+    /// Number of samples collected.
+    pub samples: usize,
+}
+
 /// The measurement driver: holds the sample count and renders results.
 pub struct Criterion {
     sample_size: usize,
+    results: Vec<BenchResult>,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { sample_size: 20 }
+        // `PLIC3_BENCH_SAMPLES` overrides the sample count globally; CI sets
+        // it to 1 so the bench smoke step compiles and runs everything without
+        // paying for statistics.
+        let sample_size = std::env::var("PLIC3_BENCH_SAMPLES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(20);
+        Criterion {
+            sample_size: sample_size.max(1),
+            results: Vec::new(),
+        }
     }
 }
 
 impl Criterion {
-    /// Sets how many timed samples each benchmark collects.
+    /// Creates a driver with an explicit sample count that is *not* subject
+    /// to the `PLIC3_BENCH_SAMPLES` override (for binaries whose own CLI flag
+    /// must win over the environment).
+    pub fn with_sample_size(samples: usize) -> Self {
+        Criterion {
+            sample_size: samples.max(1),
+            results: Vec::new(),
+        }
+    }
+
+    /// Sets how many timed samples each benchmark collects (ignored when the
+    /// `PLIC3_BENCH_SAMPLES` environment variable is set, so CI can collapse
+    /// every bench to a single smoke iteration).
     pub fn sample_size(mut self, samples: usize) -> Self {
-        self.sample_size = samples.max(1);
+        if std::env::var_os("PLIC3_BENCH_SAMPLES").is_none() {
+            self.sample_size = samples.max(1);
+        }
         self
     }
 
@@ -38,8 +79,15 @@ impl Criterion {
             samples: Vec::new(),
         };
         f(&mut bencher);
-        report(name, &mut bencher.samples);
+        if let Some(result) = summarize(name, &mut bencher.samples) {
+            self.results.push(result);
+        }
         self
+    }
+
+    /// The results of every benchmark measured so far, in execution order.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
     }
 
     /// Opens a named group; benchmarks inside it are reported as
@@ -88,10 +136,10 @@ impl Bencher {
     }
 }
 
-fn report(name: &str, samples: &mut [Duration]) {
+fn summarize(name: &str, samples: &mut [Duration]) -> Option<BenchResult> {
     if samples.is_empty() {
         println!("{name:<40} no samples (did the bench call iter()?)");
-        return;
+        return None;
     }
     samples.sort_unstable();
     let min = samples[0];
@@ -102,6 +150,13 @@ fn report(name: &str, samples: &mut [Duration]) {
         "{name:<40} min {min:>12?}   median {median:>12?}   mean {mean:>12?}   ({} samples)",
         samples.len()
     );
+    Some(BenchResult {
+        name: name.to_string(),
+        min,
+        median,
+        mean,
+        samples: samples.len(),
+    })
 }
 
 /// Declares a bench group function, mirroring Criterion's macro of the same
@@ -139,22 +194,29 @@ macro_rules! criterion_main {
 mod tests {
     use super::*;
 
+    // The tests build drivers with `with_sample_size`, which is exempt from
+    // the PLIC3_BENCH_SAMPLES override, so they pass in any environment
+    // (including a shell reproducing the CI bench-smoke step).
+
     #[test]
     fn bencher_collects_requested_samples() {
-        let mut criterion = Criterion::default().sample_size(3);
+        let mut criterion = Criterion::with_sample_size(3);
         let mut runs = 0;
         criterion.bench_function("noop", |b| b.iter(|| runs += 1));
         assert_eq!(runs, 3);
+        assert_eq!(criterion.results().len(), 1);
+        assert_eq!(criterion.results()[0].samples, 3);
     }
 
     #[test]
     fn groups_share_the_driver_sample_size() {
-        let mut criterion = Criterion::default().sample_size(2);
+        let mut criterion = Criterion::with_sample_size(2);
         let mut runs = 0;
         let mut group = criterion.benchmark_group("group");
         group.bench_function("a", |b| b.iter(|| runs += 1));
         group.bench_function("b", |b| b.iter(|| runs += 1));
         group.finish();
         assert_eq!(runs, 4);
+        assert_eq!(criterion.results()[1].name, "group/b");
     }
 }

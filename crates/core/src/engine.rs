@@ -39,11 +39,6 @@ enum BlockOutcome {
     LimitReached(UnknownReason),
 }
 
-struct FrameSolver {
-    solver: Solver,
-    dead_activations: usize,
-}
-
 /// The IC3/PDR safety model checker with optional CTP-based lemma prediction.
 ///
 /// Construct it from a [`TransitionSystem`] (or directly from an [`Aig`] with
@@ -73,9 +68,8 @@ pub struct Ic3 {
     pub(crate) ts: TransitionSystem,
     pub(crate) config: Config,
     pub(crate) frames: Frames,
-    solvers: Vec<FrameSolver>,
+    solvers: Vec<Solver>,
     lift_solver: Solver,
-    lift_dead_activations: usize,
     pub(crate) stats: Statistics,
     /// The `failure_push` table of Algorithm 2: maps a lemma cube and the level
     /// it failed to be pushed from to the CTP successor state `t`.
@@ -93,7 +87,6 @@ impl Ic3 {
             frames: Frames::new(),
             solvers: Vec::new(),
             lift_solver: Solver::new(),
-            lift_dead_activations: 0,
             stats: Statistics::new(),
             failure_push: HashMap::new(),
             start: Instant::now(),
@@ -149,7 +142,7 @@ impl Ic3 {
         solver
     }
 
-    fn make_frame_solver(&self, level: usize) -> FrameSolver {
+    fn make_frame_solver(&self, level: usize) -> Solver {
         let mut solver = Solver::new();
         solver.set_stop_flag(self.config.stop.clone());
         solver.ensure_vars(self.ts.num_vars());
@@ -165,14 +158,16 @@ impl Ic3 {
                 solver.add_clause_ref(&cube.negate());
             }
         }
-        FrameSolver {
-            solver,
-            dead_activations: 0,
-        }
+        solver
     }
 
+    /// Rebuilds a frame solver when too many released activation variables are
+    /// still pending inside it. Activation literals are normally recycled by
+    /// the solver itself (`release_var` + its internal simplification), so the
+    /// pending count stays far below `solver_rebuild_threshold` and this is a
+    /// safety valve rather than the steady-state cleanup path it used to be.
     fn rebuild_solver_if_needed(&mut self, level: usize) {
-        if self.solvers[level].dead_activations >= self.config.solver_rebuild_threshold {
+        if self.solvers[level].num_released_pending() >= self.config.solver_rebuild_threshold {
             self.solvers[level] = self.make_frame_solver(level);
         }
     }
@@ -191,7 +186,7 @@ impl Ic3 {
             self.stats.lemmas_added += 1;
             let clause = cube.negate();
             for l in 1..=level {
-                self.solvers[l].solver.add_clause_ref(&clause);
+                self.solvers[l].add_clause_ref(&clause);
             }
         }
     }
@@ -218,19 +213,19 @@ impl Ic3 {
         let mut assumptions = Vec::with_capacity(primed.len() + 1);
         let mut activation = None;
         if include_negated_cube {
-            let act = Lit::pos(frame_solver.solver.new_var());
+            let act = Lit::pos(frame_solver.new_var());
             let mut clause: Vec<Lit> = vec![!act];
             clause.extend(cube.iter().map(|l| !l));
-            frame_solver.solver.add_clause(clause);
+            frame_solver.add_clause(clause);
             assumptions.push(act);
             activation = Some(act);
         }
         assumptions.extend(primed.iter().copied());
-        let result = frame_solver.solver.solve(&assumptions);
+        let result = frame_solver.solve(&assumptions);
         let outcome = match result {
             SatResult::Unsat => {
                 let core = if self.config.core_shrink {
-                    let solver = &frame_solver.solver;
+                    let solver = &*frame_solver;
                     let mut shrunk: Cube = cube
                         .iter()
                         .filter(|&l| solver.core_contains(ts.prime_lit(l)))
@@ -252,7 +247,7 @@ impl Ic3 {
                 SolveRelative::Inductive { core }
             }
             SatResult::Sat => {
-                let solver = &frame_solver.solver;
+                let solver = &*frame_solver;
                 SolveRelative::Cti {
                     predecessor: ts.state_cube_from(|v| solver.model_value(v)),
                     inputs: ts.input_cube_from(|v| solver.model_value(v)),
@@ -263,8 +258,10 @@ impl Ic3 {
             SatResult::Unknown => SolveRelative::Aborted,
         };
         if let Some(act) = activation {
-            frame_solver.solver.add_clause([!act]);
-            frame_solver.dead_activations += 1;
+            // Retire the activation literal: the solver asserts ¬act, removes
+            // the activation clause during its next simplification, and hands
+            // the variable back through a later `new_var`.
+            frame_solver.release_var(!act);
         }
         outcome
     }
@@ -275,7 +272,7 @@ impl Ic3 {
     fn solve_frame_bad(&mut self, level: usize) -> Option<(Cube, Cube)> {
         self.rebuild_solver_if_needed(level);
         let assumptions = self.ts.bad_assumptions();
-        let solver = &mut self.solvers[level].solver;
+        let solver = &mut self.solvers[level];
         match solver.solve(&assumptions) {
             SatResult::Sat => {
                 let state = self.ts.state_cube_from(|v| solver.model_value(v));
@@ -291,9 +288,8 @@ impl Ic3 {
     /// `successor` in one step under `inputs`.
     fn lift_predecessor(&mut self, state: &Cube, inputs: &Cube, successor: &Cube) -> Cube {
         self.stats.lift_queries += 1;
-        if self.lift_dead_activations >= self.config.solver_rebuild_threshold {
+        if self.lift_solver.num_released_pending() >= self.config.solver_rebuild_threshold {
             self.lift_solver = self.make_lift_solver();
-            self.lift_dead_activations = 0;
         }
         let act = Lit::pos(self.lift_solver.new_var());
         let mut clause: Vec<Lit> = vec![!act];
@@ -316,15 +312,14 @@ impl Ic3 {
             // back to the unlifted state.
             state.clone()
         };
-        self.lift_solver.add_clause([!act]);
-        self.lift_dead_activations += 1;
+        self.lift_solver.release_var(!act);
         lifted
     }
 
     fn current_conflicts(&self) -> u64 {
         self.solvers
             .iter()
-            .map(|f| f.solver.stats().conflicts)
+            .map(|f| f.stats().conflicts)
             .sum::<u64>()
             + self.lift_solver.stats().conflicts
     }
@@ -445,9 +440,7 @@ impl Ic3 {
                 match self.solve_relative(&cube, level, false) {
                     SolveRelative::Inductive { .. } => {
                         if self.frames.promote(&cube, level) {
-                            self.solvers[level + 1]
-                                .solver
-                                .add_clause_ref(&cube.negate());
+                            self.solvers[level + 1].add_clause_ref(&cube.negate());
                             self.stats.lemmas_propagated += 1;
                         }
                     }

@@ -76,6 +76,15 @@ impl ActivityHeap {
         }
     }
 
+    /// Restores the heap property around `var` after its activity decreased
+    /// (used when a recycled variable has its activity reset to zero while
+    /// still sitting in the heap).
+    pub(crate) fn decreased(&mut self, var: usize, activity: &[f64]) {
+        if self.contains(var) {
+            self.sift_down(self.pos[var], activity);
+        }
+    }
+
     /// Rebuilds the heap from scratch (used after a global activity rescale).
     pub(crate) fn rebuild(&mut self, activity: &[f64]) {
         let vars: Vec<u32> = self.heap.clone();
@@ -173,6 +182,22 @@ mod tests {
         activity[0] = 10.0;
         h.bumped(0, &activity);
         assert_eq!(h.pop_max(&activity), Some(0));
+    }
+
+    #[test]
+    fn decreased_restores_order_after_activity_reset() {
+        let mut activity = vec![1.0, 2.0, 5.0, 3.0];
+        let mut h = ActivityHeap::new();
+        for v in 0..4 {
+            h.insert(v, &activity);
+        }
+        // Var 2 sits at the top; resetting its activity must sift it down.
+        activity[2] = 0.0;
+        h.decreased(2, &activity);
+        assert_eq!(h.pop_max(&activity), Some(3));
+        assert_eq!(h.pop_max(&activity), Some(1));
+        assert_eq!(h.pop_max(&activity), Some(0));
+        assert_eq!(h.pop_max(&activity), Some(2));
     }
 
     #[test]

@@ -1,5 +1,12 @@
 //! The CDCL search engine.
+//!
+//! The solver stores every clause inline in a flat [`ClauseArena`] (see
+//! `arena.rs`) and keeps its hot paths — [`Solver::solve`]'s propagation,
+//! conflict analysis, and assumption-core extraction — free of heap
+//! allocations in steady state: all intermediate literal sets live in scratch
+//! buffers owned by the solver and reused across conflicts.
 
+use crate::arena::{ClauseArena, ClauseRef};
 use crate::heap::ActivityHeap;
 use crate::stats::SolverStats;
 use crate::stop::StopFlag;
@@ -41,8 +48,12 @@ pub struct SolverConfig {
     /// Base (first) restart interval in conflicts; later intervals follow the
     /// Luby sequence scaled by this value.
     pub restart_base: u64,
-    /// Start reducing the learnt-clause database once it exceeds this many
-    /// clauses plus one third of the number of original clauses.
+    /// Hard ceiling of the learnt-clause limit: the database is always reduced
+    /// once it exceeds this many clauses plus one third of the number of
+    /// original clauses. The effective limit starts much lower (one third of
+    /// the problem clauses, MiniSat's `learntsize_factor`) and grows
+    /// geometrically with each restart up to this cap, so small instances keep
+    /// their watch lists short instead of drowning in stale lemmas.
     pub max_learnts_base: usize,
     /// Default polarity a variable is assigned when it is picked as a decision
     /// and has never been assigned before.
@@ -61,18 +72,23 @@ impl Default for SolverConfig {
     }
 }
 
-/// Reference to a clause in the arena.
-type ClauseRef = u32;
+const NO_REASON: ClauseRef = u32::MAX;
 
-const NO_REASON: u32 = u32::MAX;
+// Packed ternary assignment values ("lbool"): a variable's value is one byte,
+// and a literal is evaluated by XOR-ing the variable value with the literal's
+// sign bit. `2` (and the `2 ^ 1 = 3` the XOR can produce) means unassigned, so
+// "is unassigned" is the single comparison `>= L_UNDEF`.
+const L_TRUE: u8 = 0;
+const L_FALSE: u8 = 1;
+const L_UNDEF: u8 = 2;
 
-#[derive(Clone, Debug)]
-struct ClauseData {
-    lits: Vec<Lit>,
-    learnt: bool,
-    deleted: bool,
-    activity: f64,
-}
+/// Learnt clauses with an LBD at or below this are "glue" clauses and are
+/// never removed by database reduction (Glucose's invariant).
+const GLUE_LBD: u32 = 2;
+
+/// Released variables are reclaimed eagerly once this many are pending, even
+/// when the propagation-amortized simplification budget has not been reached.
+const RELEASE_BATCH: usize = 64;
 
 #[derive(Clone, Copy, Debug)]
 struct Watcher {
@@ -80,10 +96,19 @@ struct Watcher {
     blocker: Lit,
 }
 
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug)]
 struct VarData {
     level: u32,
-    reason: u32,
+    reason: ClauseRef,
+}
+
+impl Default for VarData {
+    fn default() -> Self {
+        VarData {
+            level: 0,
+            reason: NO_REASON,
+        }
+    }
 }
 
 /// An incremental CDCL SAT solver with assumptions and assumption cores.
@@ -93,13 +118,14 @@ struct VarData {
 /// after every call).
 pub struct Solver {
     config: SolverConfig,
-    // Clause arena.
-    clauses: Vec<ClauseData>,
+    // Clause storage: one flat arena, plus the problem/learnt reference lists.
+    arena: ClauseArena,
+    clauses: Vec<ClauseRef>,
     learnts: Vec<ClauseRef>,
     // Watch lists indexed by literal code.
     watches: Vec<Vec<Watcher>>,
     // Assignment state.
-    assigns: Vec<Option<bool>>,
+    assigns: Vec<u8>,
     vardata: Vec<VarData>,
     trail: Vec<Lit>,
     trail_lim: Vec<usize>,
@@ -111,13 +137,30 @@ pub struct Solver {
     polarity: Vec<bool>,
     // Clause activity.
     cla_inc: f64,
-    // Conflict analysis scratch.
+    // Adaptive learnt-database limit (grows by 10% per restart, capped by
+    // `config.max_learnts_base`).
+    max_learnts: f64,
+    // Conflict-analysis scratch buffers (reused across conflicts so that the
+    // hot path performs no heap allocation in steady state).
     seen: Vec<bool>,
+    learnt_scratch: Vec<Lit>,
+    toclear_scratch: Vec<Lit>,
+    add_scratch: Vec<Lit>,
+    // LBD computation: one stamp slot per decision level.
+    level_stamp: Vec<u64>,
+    stamp: u64,
+    // Released-variable recycling.
+    released_vars: Vec<Var>,
+    free_vars: Vec<Var>,
+    free_mark: Vec<bool>,
+    simplify_mark: usize,
+    simplify_props_mark: u64,
     // Solver status.
     ok: bool,
     assumptions: Vec<Lit>,
+    assumptions_sorted: Vec<Lit>,
     conflict_core: Vec<Lit>,
-    model: Vec<Option<bool>>,
+    model: Vec<u8>,
     conflict_budget: Option<u64>,
     stop: StopFlag,
     stats: SolverStats,
@@ -133,7 +176,7 @@ impl fmt::Debug for Solver {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Solver")
             .field("num_vars", &self.num_vars())
-            .field("num_clauses", &self.clauses.len())
+            .field("num_clauses", &self.num_clauses())
             .field("ok", &self.ok)
             .field("stats", &self.stats)
             .finish()
@@ -150,6 +193,7 @@ impl Solver {
     pub fn with_config(config: SolverConfig) -> Self {
         Solver {
             config,
+            arena: ClauseArena::new(),
             clauses: Vec::new(),
             learnts: Vec::new(),
             watches: Vec::new(),
@@ -163,9 +207,21 @@ impl Solver {
             order_heap: ActivityHeap::new(),
             polarity: Vec::new(),
             cla_inc: 1.0,
+            max_learnts: 0.0,
             seen: Vec::new(),
+            learnt_scratch: Vec::new(),
+            toclear_scratch: Vec::new(),
+            add_scratch: Vec::new(),
+            level_stamp: vec![0],
+            stamp: 0,
+            released_vars: Vec::new(),
+            free_vars: Vec::new(),
+            free_mark: Vec::new(),
+            simplify_mark: 0,
+            simplify_props_mark: 0,
             ok: true,
             assumptions: Vec::new(),
+            assumptions_sorted: Vec::new(),
             conflict_core: Vec::new(),
             model: Vec::new(),
             conflict_budget: None,
@@ -178,17 +234,34 @@ impl Solver {
     // Variables and clauses
     // ------------------------------------------------------------------
 
-    /// Allocates a fresh variable and returns it.
+    /// Allocates a variable and returns it, preferring to recycle one
+    /// previously retired through [`Solver::release_var`].
     pub fn new_var(&mut self) -> Var {
+        if let Some(v) = self.free_vars.pop() {
+            let i = v.index();
+            debug_assert!(self.assigns[i] >= L_UNDEF);
+            self.free_mark[i] = false;
+            self.activity[i] = 0.0;
+            self.polarity[i] = self.config.default_polarity;
+            self.vardata[i] = VarData::default();
+            // The variable may still sit in the heap, positioned by its stale
+            // pre-release activity; sift it down to match the reset.
+            self.order_heap.decreased(i, &self.activity);
+            self.order_heap.insert(i, &self.activity);
+            self.stats.recycled_vars += 1;
+            return v;
+        }
+        self.fresh_var()
+    }
+
+    fn fresh_var(&mut self) -> Var {
         let v = Var::new(self.assigns.len() as u32);
-        self.assigns.push(None);
-        self.vardata.push(VarData {
-            level: 0,
-            reason: NO_REASON,
-        });
+        self.assigns.push(L_UNDEF);
+        self.vardata.push(VarData::default());
         self.activity.push(0.0);
         self.polarity.push(self.config.default_polarity);
         self.seen.push(false);
+        self.free_mark.push(false);
         self.watches.push(Vec::new());
         self.watches.push(Vec::new());
         self.order_heap.grow_to(self.assigns.len());
@@ -196,10 +269,10 @@ impl Solver {
         v
     }
 
-    /// Ensures that variables `0..n` exist.
+    /// Ensures that variables `0..n` exist (never recycles released ones).
     pub fn ensure_vars(&mut self, n: usize) {
         while self.num_vars() < n {
-            self.new_var();
+            self.fresh_var();
         }
     }
 
@@ -217,7 +290,7 @@ impl Solver {
     pub fn num_clauses(&self) -> usize {
         self.clauses
             .iter()
-            .filter(|c| !c.learnt && !c.deleted)
+            .filter(|&&c| !self.arena.is_deleted(c))
             .count()
     }
 
@@ -259,16 +332,28 @@ impl Solver {
         if !self.ok {
             return false;
         }
-        let mut lits: Vec<Lit> = lits.into_iter().collect();
+        let mut tmp = std::mem::take(&mut self.add_scratch);
+        tmp.clear();
+        tmp.extend(lits);
+        let result = self.add_clause_inner(&mut tmp);
+        self.add_scratch = tmp;
+        result
+    }
+
+    fn add_clause_inner(&mut self, lits: &mut Vec<Lit>) -> bool {
         if let Some(max) = lits.iter().map(|l| l.var().index()).max() {
             self.ensure_vars(max + 1);
         }
         lits.sort_unstable();
         lits.dedup();
-        // Tautology or satisfied at level 0: nothing to do.
-        let mut simplified = Vec::with_capacity(lits.len());
+        // Simplify in place: drop level-0-false literals, detect tautologies
+        // and clauses already satisfied at the top level.
+        let mut kept = 0;
         let mut prev: Option<Lit> = None;
-        for &l in &lits {
+        let mut i = 0;
+        while i < lits.len() {
+            let l = lits[i];
+            i += 1;
             if let Some(p) = prev {
                 if p.var() == l.var() {
                     // p and l are the two polarities of the same var: tautology.
@@ -276,19 +361,18 @@ impl Solver {
                 }
             }
             prev = Some(l);
-            match self.lit_value(l) {
-                Some(true) => return true,
-                Some(false) => {
-                    // Only drop literals that are false at level 0.
-                    if self.vardata[l.var().index()].level == 0 {
-                        continue;
-                    }
-                    simplified.push(l);
-                }
-                None => simplified.push(l),
+            let value = self.lit_value(l);
+            if value == L_TRUE {
+                return true;
             }
+            // Only drop literals that are false at level 0.
+            if value == L_FALSE && self.vardata[l.var().index()].level == 0 {
+                continue;
+            }
+            lits[kept] = l;
+            kept += 1;
         }
-        let lits = simplified;
+        lits.truncate(kept);
         self.stats.original_clauses += 1;
         match lits.len() {
             0 => {
@@ -301,7 +385,8 @@ impl Solver {
                 self.ok
             }
             _ => {
-                self.attach_new_clause(lits, false);
+                let cref = self.attach_clause(lits, false);
+                self.clauses.push(cref);
                 true
             }
         }
@@ -312,9 +397,9 @@ impl Solver {
         self.add_clause(clause.iter())
     }
 
-    fn attach_new_clause(&mut self, lits: Vec<Lit>, learnt: bool) -> ClauseRef {
+    fn attach_clause(&mut self, lits: &[Lit], learnt: bool) -> ClauseRef {
         debug_assert!(lits.len() >= 2);
-        let cref = self.clauses.len() as ClauseRef;
+        let cref = self.arena.alloc(lits, learnt);
         self.watches[(!lits[0]).code()].push(Watcher {
             cref,
             blocker: lits[1],
@@ -323,12 +408,6 @@ impl Solver {
             cref,
             blocker: lits[0],
         });
-        self.clauses.push(ClauseData {
-            lits,
-            learnt,
-            deleted: false,
-            activity: 0.0,
-        });
         if learnt {
             self.learnts.push(cref);
             self.stats.learnt_clauses += 1;
@@ -336,22 +415,209 @@ impl Solver {
         cref
     }
 
-    fn detach_clause(&mut self, cref: ClauseRef) {
-        let (w0, w1) = {
-            let c = &self.clauses[cref as usize];
-            ((!c.lits[0]).code(), (!c.lits[1]).code())
-        };
-        self.watches[w0].retain(|w| w.cref != cref);
-        self.watches[w1].retain(|w| w.cref != cref);
-        self.clauses[cref as usize].deleted = true;
+    /// Marks a clause deleted. Its watchers are dropped lazily the next time
+    /// propagation walks over them (or wholesale by garbage collection), so
+    /// deletion is O(1) instead of O(|watch list|).
+    fn delete_clause(&mut self, cref: ClauseRef) {
+        if self.clause_is_locked(cref) {
+            // Only clauses satisfied at level 0 are deleted while locked; the
+            // implied literal keeps its level-0 assignment without a reason.
+            let first = self.arena.lit(cref, 0);
+            self.vardata[first.var().index()].reason = NO_REASON;
+        }
+        self.arena.delete(cref);
+    }
+
+    // ------------------------------------------------------------------
+    // Released variables and top-level simplification
+    // ------------------------------------------------------------------
+
+    /// Retires a variable: asserts `lit` at the top level and schedules the
+    /// variable for recycling by a future [`Solver::new_var`] once
+    /// [`Solver::simplify`] has removed every clause `lit` satisfies.
+    ///
+    /// The caller must guarantee that after this call the variable is never
+    /// used again and that `lit` satisfies every clause containing the
+    /// variable (the IC3 activation-literal discipline: the variable occurs
+    /// only as `!lit` in clauses, and is only ever assumed as `lit`).
+    pub fn release_var(&mut self, lit: Lit) {
+        debug_assert_eq!(self.decision_level(), 0);
+        debug_assert!(
+            !self.free_mark[lit.var().index()],
+            "variable released twice"
+        );
+        self.stats.released_vars += 1;
+        self.free_mark[lit.var().index()] = true;
+        self.released_vars.push(lit.var());
+        self.add_clause([lit]);
+    }
+
+    /// Number of variables released but not yet reclaimed by
+    /// [`Solver::simplify`] (the garbage a solver rebuild would clear).
+    pub fn num_released_pending(&self) -> usize {
+        self.released_vars.len()
+    }
+
+    /// Removes clauses satisfied at the top level and recycles released
+    /// variables. Returns `false` if the database is unsatisfiable.
+    ///
+    /// [`Solver::solve`] runs this opportunistically: the full database scan
+    /// is only paid once enough propagation work has happened to amortize it
+    /// (or once a batch of released variables is pending). Calling `simplify`
+    /// directly forces the scan.
+    pub fn simplify(&mut self) -> bool {
+        self.simplify_inner(true)
+    }
+
+    fn simplify_inner(&mut self, force: bool) -> bool {
+        debug_assert_eq!(self.decision_level(), 0);
+        if !self.ok {
+            return false;
+        }
+        if self.propagate().is_some() {
+            self.ok = false;
+            return false;
+        }
+        if self.trail.len() == self.simplify_mark && self.released_vars.is_empty() {
+            return true;
+        }
+        if !force {
+            let amortized =
+                self.stats.propagations - self.simplify_props_mark >= 4 * self.arena.words() as u64;
+            if !amortized && self.released_vars.len() < RELEASE_BATCH {
+                return true;
+            }
+        }
+        self.remove_satisfied(true);
+        self.remove_satisfied(false);
+        if !self.released_vars.is_empty() {
+            // Every clause containing a released variable was just removed as
+            // satisfied, so the variable can be scrubbed from the trail and
+            // reused as if fresh.
+            let mut kept = 0;
+            let mut i = 0;
+            while i < self.trail.len() {
+                let lit = self.trail[i];
+                i += 1;
+                if self.free_mark[lit.var().index()] {
+                    continue;
+                }
+                self.trail[kept] = lit;
+                kept += 1;
+            }
+            self.trail.truncate(kept);
+            while let Some(v) = self.released_vars.pop() {
+                self.assigns[v.index()] = L_UNDEF;
+                self.vardata[v.index()] = VarData::default();
+                self.free_vars.push(v);
+            }
+        }
+        self.qhead = self.trail.len();
+        self.simplify_mark = self.trail.len();
+        self.simplify_props_mark = self.stats.propagations;
+        self.check_garbage();
+        true
+    }
+
+    fn remove_satisfied(&mut self, learnt_list: bool) {
+        let mut list = std::mem::take(if learnt_list {
+            &mut self.learnts
+        } else {
+            &mut self.clauses
+        });
+        let mut kept = 0;
+        let mut i = 0;
+        while i < list.len() {
+            let cref = list[i];
+            i += 1;
+            if self.arena.is_deleted(cref) {
+                continue;
+            }
+            if self.clause_is_satisfied(cref) {
+                self.delete_clause(cref);
+            } else {
+                list[kept] = cref;
+                kept += 1;
+            }
+        }
+        list.truncate(kept);
+        if learnt_list {
+            self.stats.learnt_clauses = list.len() as u64;
+            self.learnts = list;
+        } else {
+            self.clauses = list;
+        }
+    }
+
+    fn clause_is_satisfied(&self, cref: ClauseRef) -> bool {
+        (0..self.arena.len(cref)).any(|i| self.lit_value(self.arena.lit(cref, i)) == L_TRUE)
+    }
+
+    // ------------------------------------------------------------------
+    // Garbage collection
+    // ------------------------------------------------------------------
+
+    /// Compacts the clause arena when at least 20% of it is wasted by deleted
+    /// clauses, patching every stored [`ClauseRef`] (clause lists, trail
+    /// reasons) and rebuilding the watch lists.
+    fn check_garbage(&mut self) {
+        if self.arena.words() > 1024 && self.arena.wasted() * 5 > self.arena.words() {
+            self.garbage_collect();
+        }
+    }
+
+    fn garbage_collect(&mut self) {
+        let arena = &self.arena;
+        self.clauses.retain(|&c| !arena.is_deleted(c));
+        self.learnts.retain(|&c| !arena.is_deleted(c));
+        let (compact, reloc) = std::mem::take(&mut self.arena).garbage_collect();
+        self.arena = compact;
+        for cref in self.clauses.iter_mut().chain(self.learnts.iter_mut()) {
+            *cref = reloc.map(*cref);
+        }
+        // Only assigned variables carry reasons, and locked clauses are never
+        // deleted (deletion clears the reason), so every reason relocates.
+        for &lit in &self.trail {
+            let vd = &mut self.vardata[lit.var().index()];
+            if vd.reason != NO_REASON {
+                vd.reason = reloc.map(vd.reason);
+            }
+        }
+        for ws in &mut self.watches {
+            ws.clear();
+        }
+        let mut i = 0;
+        while i < self.clauses.len() {
+            let cref = self.clauses[i];
+            self.attach_watchers(cref);
+            i += 1;
+        }
+        let mut i = 0;
+        while i < self.learnts.len() {
+            let cref = self.learnts[i];
+            self.attach_watchers(cref);
+            i += 1;
+        }
+        self.stats.garbage_collections += 1;
+    }
+
+    fn attach_watchers(&mut self, cref: ClauseRef) {
+        let l0 = self.arena.lit(cref, 0);
+        let l1 = self.arena.lit(cref, 1);
+        self.watches[(!l0).code()].push(Watcher { cref, blocker: l1 });
+        self.watches[(!l1).code()].push(Watcher { cref, blocker: l0 });
     }
 
     // ------------------------------------------------------------------
     // Values and models
     // ------------------------------------------------------------------
 
-    fn lit_value(&self, lit: Lit) -> Option<bool> {
-        self.assigns[lit.var().index()].map(|v| if lit.is_pos() { v } else { !v })
+    /// Evaluates `lit` under the current assignment: [`L_TRUE`], [`L_FALSE`],
+    /// or `>= L_UNDEF` when the variable is unassigned (sign-XOR evaluation —
+    /// no branch, no `Option`).
+    #[inline]
+    fn lit_value(&self, lit: Lit) -> u8 {
+        self.assigns[lit.var().index()] ^ lit.is_neg() as u8
     }
 
     /// The value of `var` in the most recent satisfying model, if any.
@@ -359,7 +625,10 @@ impl Solver {
     /// Returns `None` for variables the model leaves unconstrained or when the
     /// last call was not `Sat`.
     pub fn model_value(&self, var: Var) -> Option<bool> {
-        self.model.get(var.index()).copied().flatten()
+        match self.model.get(var.index()) {
+            Some(&v) if v < L_UNDEF => Some(v == L_TRUE),
+            _ => None,
+        }
     }
 
     /// The value of `lit` in the most recent satisfying model, if any.
@@ -372,14 +641,16 @@ impl Solver {
     /// derive unsatisfiability (only meaningful after [`SatResult::Unsat`]).
     ///
     /// The conjunction of these assumption literals together with the clause
-    /// database is unsatisfiable.
+    /// database is unsatisfiable. The slice is sorted.
     pub fn unsat_core(&self) -> &[Lit] {
         &self.conflict_core
     }
 
     /// Returns `true` if `lit` is in the unsat core of the last `solve` call.
     pub fn core_contains(&self, lit: Lit) -> bool {
-        self.conflict_core.contains(&lit)
+        // The core is kept sorted (see `analyze_final`), so membership is a
+        // binary search instead of a linear scan.
+        self.conflict_core.binary_search(&lit).is_ok()
     }
 
     // ------------------------------------------------------------------
@@ -392,12 +663,19 @@ impl Solver {
 
     fn new_decision_level(&mut self) {
         self.trail_lim.push(self.trail.len());
+        // Keep one LBD stamp slot per decision level ever reached. Levels are
+        // not bounded by the variable count: an already-satisfied (e.g.
+        // duplicate) assumption opens a decision level without assigning
+        // anything, so the slot is grown here rather than in `fresh_var`.
+        if self.level_stamp.len() <= self.trail_lim.len() {
+            self.level_stamp.push(0);
+        }
     }
 
-    fn unchecked_enqueue(&mut self, lit: Lit, reason: u32) {
-        debug_assert!(self.lit_value(lit).is_none());
+    fn unchecked_enqueue(&mut self, lit: Lit, reason: ClauseRef) {
         let v = lit.var().index();
-        self.assigns[v] = Some(lit.asserted_value());
+        debug_assert!(self.assigns[v] >= L_UNDEF);
+        self.assigns[v] = lit.is_neg() as u8;
         self.vardata[v] = VarData {
             level: self.decision_level(),
             reason,
@@ -414,7 +692,7 @@ impl Solver {
             let lit = self.trail[i];
             let v = lit.var().index();
             self.polarity[v] = lit.asserted_value();
-            self.assigns[v] = None;
+            self.assigns[v] = L_UNDEF;
             self.vardata[v].reason = NO_REASON;
             self.order_heap.insert(v, &self.activity);
         }
@@ -443,24 +721,50 @@ impl Solver {
                 let w = ws[i];
                 i += 1;
                 // Fast path: blocker already true.
-                if self.lit_value(w.blocker) == Some(true) {
+                let blocker_value = self.lit_value(w.blocker);
+                if blocker_value == L_TRUE {
                     ws[kept] = w;
                     kept += 1;
                     continue;
                 }
                 let cref = w.cref;
-                // Normalize so that lits[1] is the falsified watch.
-                let first;
-                {
-                    let c = &mut self.clauses[cref as usize];
-                    debug_assert!(!c.deleted);
-                    if c.lits[0] == false_lit {
-                        c.lits.swap(0, 1);
-                    }
-                    debug_assert_eq!(c.lits[1], false_lit);
-                    first = c.lits[0];
+                // One header read gives the length and the deleted flag;
+                // watchers of deleted clauses are dropped lazily here.
+                let (clause_len, deleted) = self.arena.len_and_deleted(cref);
+                if deleted {
+                    continue;
                 }
-                if first != w.blocker && self.lit_value(first) == Some(true) {
+                // Normalize so that position 1 holds the falsified watch.
+                let l0 = self.arena.lit(cref, 0);
+                let first = if l0 == false_lit {
+                    let l1 = self.arena.lit(cref, 1);
+                    self.arena.swap_lits(cref, 0, 1);
+                    l1
+                } else {
+                    l0
+                };
+                debug_assert_eq!(self.arena.lit(cref, 1), false_lit);
+                if clause_len == 2 {
+                    // Binary fast path: `first` is the only other literal and
+                    // is always the blocker, whose value we already know — the
+                    // clause is unit or conflicting, never re-watched.
+                    debug_assert_eq!(first, w.blocker);
+                    ws[kept] = w;
+                    kept += 1;
+                    if blocker_value == L_FALSE {
+                        while i < ws.len() {
+                            ws[kept] = ws[i];
+                            kept += 1;
+                            i += 1;
+                        }
+                        conflict = Some(cref);
+                        self.qhead = self.trail.len();
+                    } else {
+                        self.unchecked_enqueue(first, cref);
+                    }
+                    continue;
+                }
+                if first != w.blocker && self.lit_value(first) == L_TRUE {
                     ws[kept] = Watcher {
                         cref,
                         blocker: first,
@@ -469,13 +773,10 @@ impl Solver {
                     continue;
                 }
                 // Look for a new literal to watch.
-                let clause_len = self.clauses[cref as usize].lits.len();
                 for k in 2..clause_len {
-                    let lk = self.clauses[cref as usize].lits[k];
-                    if self.lit_value(lk) != Some(false) {
-                        let c = &mut self.clauses[cref as usize];
-                        c.lits.swap(1, k);
-                        let new_watch = c.lits[1];
+                    if self.lit_value(self.arena.lit(cref, k)) != L_FALSE {
+                        self.arena.swap_lits(cref, 1, k);
+                        let new_watch = self.arena.lit(cref, 1);
                         self.watches[(!new_watch).code()].push(Watcher {
                             cref,
                             blocker: first,
@@ -489,7 +790,7 @@ impl Solver {
                     blocker: first,
                 };
                 kept += 1;
-                if self.lit_value(first) == Some(false) {
+                if self.lit_value(first) == L_FALSE {
                     // Conflict: keep the remaining watchers and stop.
                     while i < ws.len() {
                         ws[kept] = ws[i];
@@ -515,29 +816,34 @@ impl Solver {
     // Conflict analysis
     // ------------------------------------------------------------------
 
-    fn analyze(&mut self, confl: ClauseRef) -> (Vec<Lit>, u32) {
-        let mut learnt: Vec<Lit> = vec![Lit::pos(Var::new(0))]; // placeholder for the UIP
+    /// First-UIP conflict analysis. Fills `self.learnt_scratch` with the
+    /// learnt clause (asserting literal at index 0, second watch at index 1)
+    /// and returns the backtrack level and the clause's LBD. Allocation-free:
+    /// the clause is built in reusable scratch buffers, and antecedent
+    /// literals are read straight out of the arena by index.
+    fn analyze(&mut self, mut confl: ClauseRef) -> (u32, u32) {
+        let mut learnt = std::mem::take(&mut self.learnt_scratch);
+        learnt.clear();
+        learnt.push(Lit::pos(Var::new(0))); // placeholder for the UIP
         let mut path_c: u32 = 0;
         let mut p: Option<Lit> = None;
         let mut index = self.trail.len();
-        let mut confl = confl;
         loop {
-            {
-                if self.clauses[confl as usize].learnt {
-                    self.bump_clause_activity(confl);
-                }
-                let start = usize::from(p.is_some());
-                let lits = self.clauses[confl as usize].lits.clone();
-                for &q in &lits[start..] {
-                    let v = q.var().index();
-                    if !self.seen[v] && self.vardata[v].level > 0 {
-                        self.bump_var_activity(q.var());
-                        self.seen[v] = true;
-                        if self.vardata[v].level >= self.decision_level() {
-                            path_c += 1;
-                        } else {
-                            learnt.push(q);
-                        }
+            if self.arena.is_learnt(confl) {
+                self.bump_clause_activity(confl);
+            }
+            let start = usize::from(p.is_some());
+            let len = self.arena.len(confl);
+            for k in start..len {
+                let q = self.arena.lit(confl, k);
+                let v = q.var().index();
+                if !self.seen[v] && self.vardata[v].level > 0 {
+                    self.bump_var_activity(q.var());
+                    self.seen[v] = true;
+                    if self.vardata[v].level >= self.decision_level() {
+                        path_c += 1;
+                    } else {
+                        learnt.push(q);
                     }
                 }
             }
@@ -560,21 +866,26 @@ impl Solver {
             debug_assert_ne!(confl, NO_REASON);
         }
 
-        // Basic clause minimization: drop literals implied by the rest.
-        let to_clear = learnt.clone();
-        let mut minimized = vec![learnt[0]];
-        for &l in &learnt[1..] {
-            if !self.literal_is_redundant(l) {
-                minimized.push(l);
+        // Basic clause minimization: drop literals implied by the rest. The
+        // pre-minimization clause is parked in `toclear_scratch` so the seen
+        // flags of removed literals can still be cleared afterwards.
+        let mut toclear = std::mem::take(&mut self.toclear_scratch);
+        toclear.clear();
+        toclear.extend_from_slice(&learnt);
+        let mut kept = 1;
+        let mut i = 1;
+        while i < learnt.len() {
+            if !self.literal_is_redundant(learnt[i]) {
+                learnt[kept] = learnt[i];
+                kept += 1;
             }
+            i += 1;
         }
-        let mut learnt = minimized;
-
-        // Clear the seen flags of every literal touched, including the ones that
-        // minimization removed.
-        for &l in &to_clear {
+        learnt.truncate(kept);
+        for &l in &toclear {
             self.seen[l.var().index()] = false;
         }
+        self.toclear_scratch = toclear;
 
         // Compute backtrack level and move the second-highest-level literal to
         // position 1 so that it is watched after the backjump.
@@ -592,7 +903,21 @@ impl Solver {
             learnt.swap(1, max_i);
             self.vardata[learnt[1].var().index()].level
         };
-        (learnt, bt_level)
+
+        // LBD: number of distinct decision levels in the learnt clause,
+        // counted with a per-level stamp (no clearing pass needed).
+        self.stamp += 1;
+        let mut lbd = 0u32;
+        for &l in &learnt {
+            let level = self.vardata[l.var().index()].level as usize;
+            if self.level_stamp[level] != self.stamp {
+                self.level_stamp[level] = self.stamp;
+                lbd += 1;
+            }
+        }
+
+        self.learnt_scratch = learnt;
+        (bt_level, lbd)
     }
 
     /// Returns `true` if the literal's reason clause is entirely made of seen or
@@ -602,15 +927,15 @@ impl Solver {
         if reason == NO_REASON {
             return false;
         }
-        let c = &self.clauses[reason as usize];
-        c.lits[1..].iter().all(|&q| {
-            let v = q.var().index();
+        (1..self.arena.len(reason)).all(|k| {
+            let v = self.arena.lit(reason, k).var().index();
             self.seen[v] || self.vardata[v].level == 0
         })
     }
 
     /// Computes the assumption core after a conflict with assumption literal `p`
     /// (i.e. `¬p` is implied by the clause database and earlier assumptions).
+    /// The core ends up sorted, which `core_contains` relies on.
     fn analyze_final(&mut self, p: Lit) {
         self.conflict_core.clear();
         self.conflict_core.push(p);
@@ -633,8 +958,8 @@ impl Solver {
                     self.conflict_core.push(lit);
                 }
             } else {
-                let lits = self.clauses[reason as usize].lits.clone();
-                for &q in &lits[1..] {
+                for k in 1..self.arena.len(reason) {
+                    let q = self.arena.lit(reason, k);
                     if self.vardata[q.var().index()].level > 0 {
                         self.seen[q.var().index()] = true;
                     }
@@ -643,10 +968,13 @@ impl Solver {
             self.seen[v] = false;
         }
         self.seen[p.var().index()] = false;
-        // Keep only literals that are actual assumptions of this call (decisions
-        // above the assumption prefix can never appear, but be defensive).
-        let assumptions = &self.assumptions;
-        self.conflict_core.retain(|l| assumptions.contains(l));
+        // Keep only literals that are actual assumptions of this call
+        // (decisions above the assumption prefix can never appear, but be
+        // defensive). Binary search on the sorted assumption copy instead of
+        // the former O(|core| · |assumptions|) scan.
+        let sorted = &self.assumptions_sorted;
+        self.conflict_core
+            .retain(|l| sorted.binary_search(l).is_ok());
         self.conflict_core.sort_unstable();
         self.conflict_core.dedup();
     }
@@ -673,11 +1001,15 @@ impl Solver {
     }
 
     fn bump_clause_activity(&mut self, cref: ClauseRef) {
-        let c = &mut self.clauses[cref as usize];
-        c.activity += self.cla_inc;
-        if c.activity > 1e20 {
-            for &lc in &self.learnts {
-                self.clauses[lc as usize].activity *= 1e-20;
+        let activity = self.arena.activity(cref) + self.cla_inc;
+        self.arena.set_activity(cref, activity);
+        if activity > 1e20 {
+            let mut i = 0;
+            while i < self.learnts.len() {
+                let lc = self.learnts[i];
+                let rescaled = self.arena.activity(lc) * 1e-20;
+                self.arena.set_activity(lc, rescaled);
+                i += 1;
             }
             self.cla_inc *= 1e-20;
         }
@@ -692,37 +1024,47 @@ impl Solver {
     // ------------------------------------------------------------------
 
     fn clause_is_locked(&self, cref: ClauseRef) -> bool {
-        let c = &self.clauses[cref as usize];
-        let first = c.lits[0];
-        self.lit_value(first) == Some(true) && self.vardata[first.var().index()].reason == cref
+        let first = self.arena.lit(cref, 0);
+        self.lit_value(first) == L_TRUE && self.vardata[first.var().index()].reason == cref
     }
 
+    /// Removes the worst half of the learnt database: highest LBD first,
+    /// ties broken by lowest activity (`f64::total_cmp`). Glue clauses
+    /// (LBD ≤ [`GLUE_LBD`]), binary clauses, and reason clauses survive.
     fn reduce_db(&mut self) {
         let mut learnts = std::mem::take(&mut self.learnts);
-        learnts.retain(|&c| !self.clauses[c as usize].deleted);
-        learnts.sort_by(|&a, &b| {
-            self.clauses[a as usize]
-                .activity
-                .partial_cmp(&self.clauses[b as usize].activity)
-                .unwrap_or(std::cmp::Ordering::Equal)
+        let arena = &self.arena;
+        learnts.retain(|&c| !arena.is_deleted(c));
+        learnts.sort_unstable_by(|&a, &b| {
+            arena
+                .lbd(b)
+                .cmp(&arena.lbd(a))
+                .then_with(|| arena.activity(a).total_cmp(&arena.activity(b)))
         });
         let target = learnts.len() / 2;
         let mut removed = 0;
-        let mut kept = Vec::with_capacity(learnts.len());
-        for (i, &cref) in learnts.iter().enumerate() {
+        let mut kept = 0;
+        let mut i = 0;
+        while i < learnts.len() {
+            let cref = learnts[i];
             let removable = i < target
-                && self.clauses[cref as usize].lits.len() > 2
+                && self.arena.len(cref) > 2
+                && self.arena.lbd(cref) > GLUE_LBD
                 && !self.clause_is_locked(cref);
             if removable {
-                self.detach_clause(cref);
+                self.delete_clause(cref);
                 removed += 1;
             } else {
-                kept.push(cref);
+                learnts[kept] = cref;
+                kept += 1;
             }
+            i += 1;
         }
+        learnts.truncate(kept);
         self.stats.removed_clauses += removed;
-        self.stats.learnt_clauses = kept.len() as u64;
-        self.learnts = kept;
+        self.stats.learnt_clauses = learnts.len() as u64;
+        self.learnts = learnts;
+        self.check_garbage();
     }
 
     // ------------------------------------------------------------------
@@ -732,7 +1074,7 @@ impl Solver {
     fn pick_branch_lit(&mut self) -> Option<Lit> {
         loop {
             let v = self.order_heap.pop_max(&self.activity)?;
-            if self.assigns[v].is_none() {
+            if self.assigns[v] >= L_UNDEF && !self.free_mark[v] {
                 let var = Var::new(v as u32);
                 return Some(Lit::new(var, self.polarity[v]));
             }
@@ -750,16 +1092,19 @@ impl Solver {
                     self.conflict_core.clear();
                     return Some(false);
                 }
-                let (learnt, bt_level) = self.analyze(confl);
+                let (bt_level, lbd) = self.analyze(confl);
                 self.cancel_until(bt_level);
+                let learnt = std::mem::take(&mut self.learnt_scratch);
                 if learnt.len() == 1 {
                     self.unchecked_enqueue(learnt[0], NO_REASON);
                 } else {
                     let first = learnt[0];
-                    let cref = self.attach_new_clause(learnt, true);
+                    let cref = self.attach_clause(&learnt, true);
+                    self.arena.set_lbd(cref, lbd);
                     self.bump_clause_activity(cref);
                     self.unchecked_enqueue(first, cref);
                 }
+                self.learnt_scratch = learnt;
                 self.decay_var_activity();
                 self.decay_clause_activity();
             } else {
@@ -778,7 +1123,8 @@ impl Solver {
                     self.cancel_until(0);
                     return None;
                 }
-                let limit = self.config.max_learnts_base + self.stats.original_clauses as usize / 3;
+                let cap = self.config.max_learnts_base + self.stats.original_clauses as usize / 3;
+                let limit = (self.max_learnts as usize).min(cap);
                 if self.learnts.len() > limit {
                     self.reduce_db();
                 }
@@ -786,16 +1132,15 @@ impl Solver {
                 let mut next: Option<Lit> = None;
                 while (self.decision_level() as usize) < self.assumptions.len() {
                     let p = self.assumptions[self.decision_level() as usize];
-                    match self.lit_value(p) {
-                        Some(true) => self.new_decision_level(),
-                        Some(false) => {
-                            self.analyze_final(p);
-                            return Some(false);
-                        }
-                        None => {
-                            next = Some(p);
-                            break;
-                        }
+                    let value = self.lit_value(p);
+                    if value == L_TRUE {
+                        self.new_decision_level();
+                    } else if value == L_FALSE {
+                        self.analyze_final(p);
+                        return Some(false);
+                    } else {
+                        next = Some(p);
+                        break;
                     }
                 }
                 let decision = match next {
@@ -836,7 +1181,20 @@ impl Solver {
                 l.var()
             );
         }
-        self.assumptions = assumptions.to_vec();
+        self.assumptions.clear();
+        self.assumptions.extend_from_slice(assumptions);
+        self.assumptions_sorted.clear();
+        self.assumptions_sorted.extend_from_slice(assumptions);
+        self.assumptions_sorted.sort_unstable();
+        if !self.simplify_inner(false) {
+            return SatResult::Unsat;
+        }
+        // The adaptive learnt limit persists across solve calls (it only ever
+        // grows), and never starts below a third of the problem clauses.
+        self.max_learnts = self
+            .max_learnts
+            .max(400.0)
+            .max(self.stats.original_clauses as f64 / 3.0);
         let start_conflicts = self.stats.conflicts;
         let result;
         let mut restarts = 0u32;
@@ -844,7 +1202,7 @@ impl Solver {
             let interval = luby(2.0, restarts) * self.config.restart_base as f64;
             match self.search(interval as u64, start_conflicts) {
                 Some(true) => {
-                    self.model = self.assigns.clone();
+                    self.model.extend_from_slice(&self.assigns);
                     result = SatResult::Sat;
                     break;
                 }
@@ -859,6 +1217,7 @@ impl Solver {
                     }
                     self.stats.restarts += 1;
                     restarts += 1;
+                    self.max_learnts *= 1.1;
                     if let Some(budget) = self.conflict_budget {
                         if self.stats.conflicts - start_conflicts >= budget {
                             result = SatResult::Unknown;
@@ -944,6 +1303,10 @@ mod tests {
         let core = s.unsat_core().to_vec();
         assert!(core.contains(&a) || core.contains(&!b));
         assert!(!core.contains(&c));
+        assert!(!s.core_contains(c));
+        for &l in &core {
+            assert!(s.core_contains(l));
+        }
         // The core must itself be sufficient for unsatisfiability.
         assert_eq!(s.solve(&core), SatResult::Unsat);
     }
@@ -1083,5 +1446,119 @@ mod tests {
         let _ = s.solve(&[]);
         assert_eq!(s.stats().solves, 1);
         assert_eq!(s.stats().original_clauses, 3);
+    }
+
+    #[test]
+    fn released_vars_are_recycled() {
+        let mut s = Solver::new();
+        let a = Lit::pos(s.new_var());
+        let b = Lit::pos(s.new_var());
+        s.add_clause([a, b]);
+        // Activation-literal discipline: act occurs only negatively, and is
+        // only assumed positively.
+        let act = Lit::pos(s.new_var());
+        s.add_clause([!act, !a]);
+        assert_eq!(s.solve(&[act, a]), SatResult::Unsat);
+        let total_before = s.num_vars();
+        s.release_var(!act);
+        assert_eq!(s.num_released_pending(), 1);
+        // A forced simplify reclaims the variable ...
+        assert!(s.simplify());
+        assert_eq!(s.num_released_pending(), 0);
+        assert_eq!(s.solve(&[a]), SatResult::Sat);
+        // ... and the next new_var reuses the same index.
+        let act2 = s.new_var();
+        assert_eq!(act2, act.var());
+        assert_eq!(s.num_vars(), total_before);
+        assert_eq!(s.stats().released_vars, 1);
+        assert_eq!(s.stats().recycled_vars, 1);
+        // The recycled variable works as a fresh activation literal.
+        let act2 = Lit::pos(act2);
+        s.add_clause([!act2, !b]);
+        assert_eq!(s.solve(&[act2, b]), SatResult::Unsat);
+        assert_eq!(s.solve(&[act2, a]), SatResult::Sat);
+        assert_eq!(s.model_value_lit(b), Some(false));
+    }
+
+    #[test]
+    fn simplify_removes_satisfied_clauses() {
+        let mut s = Solver::new();
+        let a = Lit::pos(s.new_var());
+        let b = Lit::pos(s.new_var());
+        let c = Lit::pos(s.new_var());
+        s.add_clause([a, b]);
+        s.add_clause([a, c]);
+        s.add_clause([b, c]);
+        assert_eq!(s.num_clauses(), 3);
+        s.add_clause([a]);
+        assert!(s.simplify());
+        // The two clauses containing `a` are satisfied at the top level.
+        assert_eq!(s.num_clauses(), 1);
+        assert_eq!(s.solve(&[]), SatResult::Sat);
+    }
+
+    #[test]
+    fn garbage_collection_preserves_verdicts() {
+        // Interleave solving with releasing many activation variables so that
+        // deleted clauses pile up and the arena is forced to compact, then
+        // check the solver still answers correctly.
+        let n = 200;
+        let mut s = Solver::new();
+        let xs: Vec<Lit> = (0..n).map(|_| Lit::pos(s.new_var())).collect();
+        for w in xs.windows(2) {
+            s.add_clause([!w[0], w[1]]);
+        }
+        let last = xs[n - 1];
+        for round in 0..50 {
+            let act = Lit::pos(s.new_var());
+            // act → ¬x_last: under act and x0 the implication chain conflicts.
+            s.add_clause([!act, !last]);
+            assert_eq!(s.solve(&[act, xs[0]]), SatResult::Unsat, "round {round}");
+            s.release_var(!act);
+            assert!(s.simplify(), "round {round}");
+        }
+        assert!(s.stats().garbage_collections > 0, "arena never compacted");
+        assert!(s.stats().recycled_vars > 0, "activation vars never reused");
+        assert_eq!(s.solve(&[xs[0]]), SatResult::Sat);
+        assert_eq!(s.model_value_lit(last), Some(true));
+        assert_eq!(s.solve(&[!last, xs[0]]), SatResult::Unsat);
+    }
+
+    #[test]
+    fn duplicate_assumptions_exceeding_var_count_do_not_panic() {
+        // Already-satisfied duplicate assumptions each open a decision level
+        // without assigning a variable, so the decision level can exceed the
+        // variable count; conflict analysis (the LBD stamp in particular)
+        // must cope.
+        let mut s = Solver::new();
+        let a = Lit::pos(s.new_var());
+        let b = Lit::pos(s.new_var());
+        let c = Lit::pos(s.new_var());
+        let d = Lit::pos(s.new_var());
+        s.add_clause([!b, c, d]);
+        s.add_clause([!b, !c, d]);
+        s.add_clause([!b, c, !d]);
+        s.add_clause([!b, !c, !d]);
+        assert_eq!(s.solve(&[a, a, a, a, a, b]), SatResult::Unsat);
+        assert!(s.unsat_core().contains(&b));
+        assert_eq!(s.solve(&[a, a, a, a, a, !b]), SatResult::Sat);
+    }
+
+    #[test]
+    fn unsat_core_is_sorted() {
+        let mut s = Solver::new();
+        let lits: Vec<Lit> = (0..6).map(|_| Lit::pos(s.new_var())).collect();
+        // x0 ∧ x2 ∧ x4 → conflict via a chain.
+        s.add_clause([!lits[0], !lits[2], !lits[4]]);
+        assert_eq!(
+            s.solve(&[lits[4], lits[0], lits[2], lits[5]]),
+            SatResult::Unsat
+        );
+        let core = s.unsat_core();
+        assert!(core.windows(2).all(|w| w[0] < w[1]), "core is sorted");
+        for &l in core {
+            assert!(s.core_contains(l));
+        }
+        assert!(!s.core_contains(lits[5]));
     }
 }

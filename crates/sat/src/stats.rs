@@ -24,6 +24,12 @@ pub struct SolverStats {
     pub removed_clauses: u64,
     /// Number of problem (non-learnt) clauses added.
     pub original_clauses: u64,
+    /// Number of variables retired through `release_var`.
+    pub released_vars: u64,
+    /// Number of released variables recycled by a later `new_var`.
+    pub recycled_vars: u64,
+    /// Number of clause-arena compactions performed.
+    pub garbage_collections: u64,
 }
 
 impl SolverStats {
@@ -43,6 +49,9 @@ impl SolverStats {
         self.learnt_clauses += other.learnt_clauses;
         self.removed_clauses += other.removed_clauses;
         self.original_clauses += other.original_clauses;
+        self.released_vars += other.released_vars;
+        self.recycled_vars += other.recycled_vars;
+        self.garbage_collections += other.garbage_collections;
     }
 }
 
@@ -50,7 +59,7 @@ impl fmt::Display for SolverStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "solves={} conflicts={} decisions={} propagations={} restarts={} learnt={} removed={} original={}",
+            "solves={} conflicts={} decisions={} propagations={} restarts={} learnt={} removed={} original={} released={} recycled={} gcs={}",
             self.solves,
             self.conflicts,
             self.decisions,
@@ -58,7 +67,10 @@ impl fmt::Display for SolverStats {
             self.restarts,
             self.learnt_clauses,
             self.removed_clauses,
-            self.original_clauses
+            self.original_clauses,
+            self.released_vars,
+            self.recycled_vars,
+            self.garbage_collections
         )
     }
 }
@@ -78,12 +90,18 @@ mod tests {
             learnt_clauses: 6,
             removed_clauses: 7,
             original_clauses: 8,
+            released_vars: 9,
+            recycled_vars: 10,
+            garbage_collections: 11,
         };
         let b = a;
         a.merge(&b);
         assert_eq!(a.solves, 2);
         assert_eq!(a.conflicts, 4);
         assert_eq!(a.original_clauses, 16);
+        assert_eq!(a.released_vars, 18);
+        assert_eq!(a.recycled_vars, 20);
+        assert_eq!(a.garbage_collections, 22);
     }
 
     #[test]
