@@ -1,0 +1,177 @@
+//! `plic3-bench-ic3` — measures the IC3 engine end to end (encode → check →
+//! verify) on raw-vs-preprocessed workload pairs and writes a machine-readable
+//! `BENCH_ic3.json`, so the perf trajectory of the *engine* — not just the SAT
+//! backend — is tracked from one PR to the next.
+//!
+//! ```text
+//! plic3-bench-ic3 [OPTIONS]
+//!
+//! Options:
+//!   --out <path>      where to write the JSON report (default: BENCH_ic3.json)
+//!   --samples <n>     timed samples per benchmark (default: 10, or the
+//!                     PLIC3_BENCH_SAMPLES environment variable; an explicit
+//!                     --samples always wins)
+//! ```
+//!
+//! Each workload is measured twice — `…_raw` checks the original circuit,
+//! `…_prep` runs the `plic3-prep` pipeline first (its cost is part of the
+//! measured time) — and the JSON records the pair's speedup:
+//!
+//! ```json
+//! {
+//!   "schema": "plic3-bench-ic3/v1",
+//!   "benches": {
+//!     "ic3/redundant_rings_raw":  { "median_ns": 1234, ... },
+//!     "ic3/redundant_rings_prep": { "median_ns": 617, ..., "speedup_vs_raw": 2.0 }
+//!   }
+//! }
+//! ```
+
+use plic3::{Config, Ic3};
+use plic3_aig::Aig;
+use plic3_bench::ic3_workloads::{guarded_counter, redundant_rings, redundant_unsafe_counter};
+use plic3_bench::timing::{BenchResult, Criterion};
+use plic3_prep::preprocess;
+use plic3_ts::TransitionSystem;
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::path::PathBuf;
+
+struct Options {
+    out: PathBuf,
+    samples: Option<usize>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut options = Options {
+        out: PathBuf::from("BENCH_ic3.json"),
+        samples: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => {
+                let value = args.next().ok_or("--out needs a path")?;
+                options.out = PathBuf::from(value);
+            }
+            "--samples" => {
+                let value = args.next().ok_or("--samples needs a value")?;
+                let samples: usize = value.parse().map_err(|_| "invalid --samples value")?;
+                if samples == 0 {
+                    return Err("--samples must be at least 1".to_string());
+                }
+                options.samples = Some(samples);
+            }
+            other => return Err(format!("unknown option '{other}'")),
+        }
+    }
+    Ok(options)
+}
+
+/// One timed iteration without preprocessing: encode the original circuit and
+/// run IC3 on it. Panics if the verdict is not the expected one, so a broken
+/// engine cannot masquerade as a fast one.
+fn check_raw(aig: &Aig, expect_safe: bool) {
+    let mut engine = Ic3::from_aig(aig, Config::ric3_like().with_lemma_prediction(true));
+    let result = engine.check();
+    assert_eq!(result.is_safe(), expect_safe, "raw verdict flipped");
+    black_box(result);
+}
+
+/// One timed iteration with preprocessing: simplify, encode, check, and — for
+/// unsafe circuits — map the witness back and replay it on the original, so
+/// the measured time covers the entire pipeline the harness runs.
+fn check_prep(aig: &Aig, expect_safe: bool) {
+    let prep = preprocess(aig);
+    let ts = TransitionSystem::from_aig(&prep.aig);
+    let mut engine = Ic3::new(ts, Config::ric3_like().with_lemma_prediction(true));
+    let result = engine.check();
+    assert_eq!(
+        result.is_safe(),
+        expect_safe,
+        "preprocessed verdict flipped"
+    );
+    if let Some(trace) = result.trace() {
+        assert!(
+            prep.replay_on_original(engine.ts(), trace),
+            "witness failed to replay on the original circuit"
+        );
+    }
+    black_box(result);
+}
+
+fn render_json(results: &[BenchResult]) -> String {
+    let median_of = |name: &str| -> Option<u128> {
+        results
+            .iter()
+            .find(|r| r.name == name)
+            .map(|r| r.median.as_nanos())
+    };
+    let mut out = String::new();
+    out.push_str("{\n  \"schema\": \"plic3-bench-ic3/v1\",\n  \"benches\": {\n");
+    for (i, r) in results.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    \"{}\": {{ \"median_ns\": {}, \"min_ns\": {}, \"mean_ns\": {}, \"samples\": {}",
+            r.name,
+            r.median.as_nanos(),
+            r.min.as_nanos(),
+            r.mean.as_nanos(),
+            r.samples
+        );
+        if let Some(raw_name) = r.name.strip_suffix("_prep").map(|b| format!("{b}_raw")) {
+            if let Some(raw_median) = median_of(&raw_name) {
+                if r.median.as_nanos() > 0 {
+                    let speedup = raw_median as f64 / r.median.as_nanos() as f64;
+                    let _ = write!(out, ", \"speedup_vs_raw\": {speedup:.3}");
+                }
+            }
+        }
+        out.push_str(" }");
+        if i + 1 < results.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  }\n}\n");
+    out
+}
+
+fn main() {
+    let options = match parse_args() {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("error: {message}");
+            std::process::exit(2);
+        }
+    };
+    // An explicit --samples beats the PLIC3_BENCH_SAMPLES environment
+    // override; without it the environment (or the default of 10) applies.
+    let mut criterion = match options.samples {
+        Some(samples) => Criterion::with_sample_size(samples),
+        None => Criterion::default().sample_size(10),
+    };
+    let workloads: [(&str, Aig, bool); 3] = [
+        ("ic3/redundant_rings", redundant_rings(3, 7), true),
+        ("ic3/guarded_counter", guarded_counter(5, 8), true),
+        (
+            "ic3/redundant_unsafe_counter",
+            redundant_unsafe_counter(3, 4),
+            false,
+        ),
+    ];
+    for (name, aig, expect_safe) in &workloads {
+        criterion.bench_function(&format!("{name}_raw"), |b| {
+            b.iter(|| check_raw(aig, *expect_safe))
+        });
+        criterion.bench_function(&format!("{name}_prep"), |b| {
+            b.iter(|| check_prep(aig, *expect_safe))
+        });
+    }
+    let json = render_json(criterion.results());
+    if let Err(e) = std::fs::write(&options.out, &json) {
+        eprintln!("error: cannot write {:?}: {e}", options.out);
+        std::process::exit(1);
+    }
+    eprintln!("wrote {:?}", options.out);
+}

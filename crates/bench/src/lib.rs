@@ -10,6 +10,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod ic3_workloads;
 pub mod sat_workloads;
 pub mod timing;
 

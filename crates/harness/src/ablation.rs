@@ -5,6 +5,8 @@ use crate::report::{percent, TextTable};
 use crate::RunnerConfig;
 use plic3::{Config, GeneralizeMode, Ic3, LiteralOrdering};
 use plic3_benchmarks::Suite;
+use plic3_prep::preprocess;
+use plic3_ts::TransitionSystem;
 use std::time::{Duration, Instant};
 
 /// One ablation variant: a named engine configuration.
@@ -84,10 +86,25 @@ pub fn run(suite: &Suite, variants: &[Variant], runner: &RunnerConfig) -> Ablati
         let mut adv = Vec::new();
         let mut queries = 0u64;
         for benchmark in suite {
-            let mut config = variant.config.clone().with_max_time(runner.timeout);
-            config.limits.max_conflicts = runner.max_conflicts;
-            let mut engine = Ic3::new(benchmark.ts(), config);
             let started = Instant::now();
+            // Same pipeline as the portfolio runner: preprocessing (when
+            // enabled) runs inside the measured window, and its cost is
+            // deducted from the engine's wall-clock budget so a case never
+            // exceeds `runner.timeout` overall.
+            let mut prep_time = Duration::ZERO;
+            let ts = if runner.preprocess {
+                let prep = preprocess(benchmark.aig());
+                prep_time = prep.stats.prep_time;
+                TransitionSystem::from_aig(&prep.aig)
+            } else {
+                benchmark.ts()
+            };
+            let mut config = variant
+                .config
+                .clone()
+                .with_max_time(runner.timeout.saturating_sub(prep_time));
+            config.limits.max_conflicts = runner.max_conflicts;
+            let mut engine = Ic3::new(ts, config);
             let result = engine.check();
             total_time += started.elapsed();
             if !result.is_unknown() {

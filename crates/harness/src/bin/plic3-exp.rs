@@ -17,6 +17,7 @@
 //!   --full            run the full HWMCC-style suite (default: quick suite)
 //!   --timeout <secs>  per-case wall-clock budget (default: 10)
 //!   --jobs <n>        worker threads of the portfolio runner (default: all cores)
+//!   --no-preprocess   skip the AIG preprocessing pipeline (default: on)
 //!   --csv <dir>       also write CSV files into <dir>
 //! ```
 
@@ -32,6 +33,7 @@ struct Options {
     full: bool,
     timeout: Duration,
     jobs: usize,
+    preprocess: bool,
     csv_dir: Option<PathBuf>,
 }
 
@@ -41,6 +43,7 @@ fn parse_args() -> Result<Options, String> {
         full: false,
         timeout: Duration::from_secs(10),
         jobs: 0,
+        preprocess: true,
         csv_dir: None,
     };
     let mut args = std::env::args().skip(1).peekable();
@@ -64,6 +67,7 @@ fn parse_args() -> Result<Options, String> {
                 let value = args.next().ok_or("--jobs needs a value")?;
                 options.jobs = value.parse().map_err(|_| "invalid --jobs value")?;
             }
+            "--no-preprocess" => options.preprocess = false,
             "--csv" => {
                 let value = args.next().ok_or("--csv needs a directory")?;
                 options.csv_dir = Some(PathBuf::from(value));
@@ -99,6 +103,38 @@ fn write_csv(dir: &Option<PathBuf>, name: &str, contents: &str) {
     }
 }
 
+/// One line per suite describing what the preprocessing pipeline achieves,
+/// so reports account for the cost and the effect of the simplification.
+///
+/// This is a dedicated (sequential) pass over the suite rather than an
+/// aggregate of the runner's per-case results: the size statistics are not
+/// carried through `CaseResult`, and the pipeline costs tens of microseconds
+/// per circuit, so one extra pass is cheaper than widening that struct.
+fn print_preprocessing_summary(suite: &Suite) {
+    let mut latches = (0usize, 0usize);
+    let mut ands = (0usize, 0usize);
+    let mut total = Duration::ZERO;
+    for bench in suite.iter() {
+        let stats = plic3_prep::preprocess(bench.aig()).stats;
+        latches.0 += stats.latches_before;
+        latches.1 += stats.latches_after;
+        ands.0 += stats.ands_before;
+        ands.1 += stats.ands_after;
+        total += stats.prep_time;
+    }
+    eprintln!(
+        "preprocessing: latches {}→{}, ands {}→{} across {} instances \
+         ({:?} total, {:?}/case; per-case cost is included in runtimes)",
+        latches.0,
+        latches.1,
+        ands.0,
+        ands.1,
+        suite.len(),
+        total,
+        total / suite.len().max(1) as u32,
+    );
+}
+
 fn main() {
     let options = match parse_args() {
         Ok(options) => options,
@@ -115,8 +151,12 @@ fn main() {
     let runner = RunnerConfig {
         timeout: options.timeout,
         workers: options.jobs,
+        preprocess: options.preprocess,
         ..RunnerConfig::default()
     };
+    if options.preprocess {
+        print_preprocessing_summary(&suite);
+    }
 
     if options.command == "ablation" {
         // The ablation driver is sequential (it accumulates per-variant

@@ -11,6 +11,8 @@
 
 use plic3::{Config, Ic3, Statistics, StopFlag};
 use plic3_benchmarks::{Benchmark, ExpectedResult, Suite};
+use plic3_prep::preprocess;
+use plic3_ts::TransitionSystem;
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Condvar, Mutex};
@@ -141,6 +143,11 @@ pub struct RunnerConfig {
     /// Number of worker threads the portfolio runner fans cases out over;
     /// `0` means one worker per available core, `1` runs sequentially.
     pub workers: usize,
+    /// Run the AIG preprocessing pipeline (`plic3-prep`) before encoding each
+    /// circuit. On by default; `plic3-exp --no-preprocess` disables it. With
+    /// preprocessing on, `Unsafe` traces are verified by mapping them back to
+    /// the **original** circuit and replaying them there.
+    pub preprocess: bool,
 }
 
 impl Default for RunnerConfig {
@@ -150,6 +157,7 @@ impl Default for RunnerConfig {
             max_conflicts: Some(2_000_000),
             fast_case_threshold: Duration::from_millis(10),
             workers: 0,
+            preprocess: true,
         }
     }
 }
@@ -185,8 +193,11 @@ pub struct CaseResult {
     pub correct: bool,
     /// Whether the certificate / counterexample passed independent checking.
     pub verified: bool,
-    /// Wall-clock runtime of the run.
+    /// Wall-clock runtime of the run, *including* preprocessing time.
     pub runtime: Duration,
+    /// Time spent in the preprocessing pipeline (zero when preprocessing is
+    /// disabled), so reports can account for it separately.
+    pub prep_time: Duration,
     /// Engine statistics (including the prediction counters).
     pub stats: Statistics,
 }
@@ -260,14 +271,27 @@ fn run_case_with_stop(
     runner: &RunnerConfig,
     stop: StopFlag,
 ) -> CaseResult {
+    let started = Instant::now();
+    // The preprocessing pipeline runs inside the measured window: its cost is
+    // part of the case's runtime, and its `Reconstruction` is what maps
+    // counterexamples back onto the original circuit. The pipeline itself is a
+    // cheap polynomial pass with no cancellation point, so the engine's
+    // wall-clock budget is what remains of the case budget after it — the
+    // case as a whole never exceeds `runner.timeout` (the watchdog's StopFlag
+    // additionally cancels the engine the moment it starts, if preprocessing
+    // somehow ate the entire budget).
+    let prep = runner.preprocess.then(|| preprocess(benchmark.aig()));
+    let ts = match &prep {
+        Some(p) => TransitionSystem::from_aig(&p.aig),
+        None => benchmark.ts(),
+    };
+    let prep_time = prep.as_ref().map_or(Duration::ZERO, |p| p.stats.prep_time);
     let mut config = configuration
         .to_config()
-        .with_max_time(runner.timeout)
+        .with_max_time(runner.timeout.saturating_sub(prep_time))
         .with_stop_flag(stop);
     config.limits.max_conflicts = runner.max_conflicts;
-    let ts = benchmark.ts();
     let mut engine = Ic3::new(ts, config);
-    let started = Instant::now();
     let outcome = engine.check();
     let runtime = started.elapsed();
     let (verdict, verified) = match &outcome {
@@ -275,10 +299,15 @@ fn run_case_with_stop(
             Verdict::Safe,
             plic3::verify_certificate(engine.ts(), cert).is_ok(),
         ),
-        plic3::CheckResult::Unsafe(trace) => (
-            Verdict::Unsafe,
-            plic3::verify_trace(engine.ts(), benchmark.aig(), trace),
-        ),
+        plic3::CheckResult::Unsafe(trace) => {
+            // With preprocessing on, the trace lives on the simplified circuit;
+            // the witness map must replay it on the *original* one.
+            let replays = match &prep {
+                Some(p) => p.replay_on_original(engine.ts(), trace),
+                None => plic3::verify_trace(engine.ts(), benchmark.aig(), trace),
+            };
+            (Verdict::Unsafe, replays)
+        }
         plic3::CheckResult::Unknown(_) => (Verdict::Unknown, true),
     };
     let correct = matches!(
@@ -296,6 +325,7 @@ fn run_case_with_stop(
         correct,
         verified,
         runtime,
+        prep_time,
         stats: *engine.statistics(),
     }
 }
@@ -493,6 +523,33 @@ mod tests {
             if result.verdict.solved() {
                 assert!(result.verified, "{} result not verified", benchmark.name());
             }
+        }
+    }
+
+    #[test]
+    fn preprocessing_preserves_verdicts_and_keeps_witnesses_replayable() {
+        let raw = RunnerConfig {
+            preprocess: false,
+            ..tiny_runner()
+        };
+        let pre = tiny_runner();
+        assert!(pre.preprocess, "preprocessing is on by default");
+        for benchmark in Suite::quick().iter() {
+            let a = run_case(benchmark, Configuration::Ric3Pl, &raw);
+            let b = run_case(benchmark, Configuration::Ric3Pl, &pre);
+            assert_eq!(
+                a.verdict,
+                b.verdict,
+                "{}: preprocessing changed the verdict",
+                benchmark.name()
+            );
+            assert!(b.correct, "{}: wrong verdict", benchmark.name());
+            assert!(
+                b.verified,
+                "{}: preprocessed witness failed verification on the original circuit",
+                benchmark.name()
+            );
+            assert_eq!(a.prep_time, Duration::ZERO);
         }
     }
 

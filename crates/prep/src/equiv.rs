@@ -1,0 +1,195 @@
+//! Sequential latch-equivalence detection by partition refinement
+//! (van-Eijk-style, but purely structural: candidate classes are refined with
+//! strashed next-state signatures instead of SAT checks, so every surviving
+//! class is proven equivalent by induction and no solver is needed).
+
+use plic3_aig::{Aig, AigBuilder, AigLit};
+use std::collections::HashMap;
+
+/// Partitions the latches of `aig` into classes that provably hold the same
+/// value in every reachable state. Returns, for each latch index, the
+/// representative (smallest) latch index of its class; `reps[i] == i` means
+/// the latch is its own class.
+///
+/// `stuck` is the per-latch stuck-at result of
+/// [`crate::ternary::stuck_latches`]; stuck latches are excluded from
+/// the partition (they are handled by constant sweeping) but their constants
+/// strengthen the signatures of everything downstream.
+///
+/// Soundness is by induction over time. The initial partition only groups
+/// latches with the *same constant reset value*, so classmates agree at step
+/// 0 (uninitialized latches are frozen as singletons — their step-0 values
+/// are independent). The refinement loop keeps two latches together only if
+/// their next-state functions are structurally identical *after substituting
+/// every latch by its class representative* (and every stuck latch by its
+/// constant); under the induction hypothesis that classmates agree at step
+/// `t`, identical substituted functions yield identical values at step
+/// `t + 1`. A partition the loop cannot refine further is therefore an
+/// inductive equivalence.
+pub(crate) fn equivalent_latches(aig: &Aig, stuck: &[Option<bool>]) -> Vec<usize> {
+    let n = aig.num_latches();
+    let mut reps: Vec<usize> = (0..n).collect();
+    let frozen: Vec<bool> = aig
+        .latches()
+        .iter()
+        .zip(stuck)
+        .map(|(latch, stuck)| latch.init.is_none() || stuck.is_some())
+        .collect();
+    // Initial partition: one class per reset constant.
+    let mut first_with_reset: [Option<usize>; 2] = [None, None];
+    for (i, latch) in aig.latches().iter().enumerate() {
+        if frozen[i] {
+            continue;
+        }
+        let slot = &mut first_with_reset[usize::from(latch.init == Some(true))];
+        reps[i] = *slot.get_or_insert(i);
+    }
+    if reps.iter().enumerate().all(|(i, &r)| r == i) {
+        return reps;
+    }
+    // Refine until stable. Each round either splits a class or terminates, so
+    // at most n rounds run.
+    loop {
+        let sigs = signatures(aig, stuck, &reps);
+        let mut group_rep: HashMap<(usize, u32), usize> = HashMap::new();
+        let mut next: Vec<usize> = (0..n).collect();
+        for i in 0..n {
+            if frozen[i] {
+                continue;
+            }
+            next[i] = *group_rep.entry((reps[i], sigs[i])).or_insert(i);
+        }
+        if next == reps {
+            return reps;
+        }
+        reps = next;
+    }
+}
+
+/// Computes, for each latch, the structural signature of its next-state
+/// function with every latch substituted by its class representative and
+/// every stuck latch substituted by its constant. Signatures are literal
+/// codes in a strashed scratch builder, so structurally identical functions
+/// collide exactly.
+fn signatures(aig: &Aig, stuck: &[Option<bool>], reps: &[usize]) -> Vec<u32> {
+    let mut b = AigBuilder::new();
+    let mut mapped: Vec<AigLit> = vec![AigLit::FALSE; aig.max_var() as usize + 1];
+    for i in 0..aig.num_inputs() {
+        mapped[aig.input(i).variable() as usize] = b.input();
+    }
+    // One scratch latch node per representative, created in ascending order so
+    // the assignment is deterministic.
+    let mut rep_node: HashMap<usize, AigLit> = HashMap::new();
+    for (i, latch) in aig.latches().iter().enumerate() {
+        let node = match stuck[i] {
+            Some(c) => {
+                if c {
+                    AigLit::TRUE
+                } else {
+                    AigLit::FALSE
+                }
+            }
+            None => *rep_node
+                .entry(reps[i])
+                .or_insert_with(|| b.latch(latch.init)),
+        };
+        mapped[latch.lit.variable() as usize] = node;
+    }
+    for gate in aig.ands() {
+        let a = map(&mapped, gate.rhs0);
+        let c = map(&mapped, gate.rhs1);
+        mapped[gate.lhs.variable() as usize] = b.and(a, c);
+    }
+    aig.latches()
+        .iter()
+        .map(|latch| map(&mapped, latch.next).code())
+        .collect()
+}
+
+fn map(mapped: &[AigLit], lit: AigLit) -> AigLit {
+    mapped[lit.variable() as usize].negate_if(lit.is_negated())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ternary;
+
+    fn analyse(aig: &Aig) -> Vec<usize> {
+        equivalent_latches(aig, &ternary::stuck_latches(aig))
+    }
+
+    #[test]
+    fn duplicated_toggle_latches_are_merged() {
+        let mut b = AigBuilder::new();
+        let a = b.latch(Some(false));
+        let c = b.latch(Some(false));
+        b.set_latch_next(a, !a);
+        b.set_latch_next(c, !c);
+        let both = b.and(a, c);
+        b.add_bad(both);
+        assert_eq!(analyse(&b.build()), vec![0, 0]);
+    }
+
+    #[test]
+    fn cyclically_duplicated_rings_collapse_onto_one_copy() {
+        // Two identical 3-cell token rings: no latch's next literal matches
+        // another's syntactically, so only the inductive refinement can merge
+        // the copies.
+        let mut b = AigBuilder::new();
+        let mut rings = Vec::new();
+        for _ in 0..2 {
+            let cells: Vec<AigLit> = (0..3).map(|i| b.latch(Some(i == 0))).collect();
+            for i in 0..3 {
+                b.set_latch_next(cells[i], cells[(i + 2) % 3]);
+            }
+            rings.push(cells);
+        }
+        let bad = b.and(rings[0][0], rings[1][1]);
+        b.add_bad(bad);
+        let reps = analyse(&b.build());
+        assert_eq!(reps, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn latches_with_different_behaviour_stay_apart() {
+        let mut b = AigBuilder::new();
+        let x = b.input();
+        let toggle = b.latch(Some(false));
+        let follow = b.latch(Some(false));
+        let hold = b.latch(Some(false));
+        b.set_latch_next(toggle, !toggle);
+        b.set_latch_next(follow, x);
+        b.set_latch_next(hold, hold);
+        b.add_bad(toggle);
+        let reps = analyse(&b.build());
+        // `hold` is stuck (handled elsewhere), the other two differ.
+        assert_eq!(reps, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn different_reset_values_block_merging() {
+        let mut b = AigBuilder::new();
+        let a = b.latch(Some(false));
+        let c = b.latch(Some(true));
+        b.set_latch_next(a, !a);
+        b.set_latch_next(c, !c);
+        let bad = b.and(a, c);
+        b.add_bad(bad);
+        assert_eq!(analyse(&b.build()), vec![0, 1]);
+    }
+
+    #[test]
+    fn uninitialized_latches_are_never_merged() {
+        // Same next-state function, but free (independent) step-0 values.
+        let mut b = AigBuilder::new();
+        let x = b.input();
+        let a = b.latch(None);
+        let c = b.latch(None);
+        b.set_latch_next(a, x);
+        b.set_latch_next(c, x);
+        let bad = b.and(a, !c);
+        b.add_bad(bad);
+        assert_eq!(analyse(&b.build()), vec![0, 1]);
+    }
+}

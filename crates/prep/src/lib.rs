@@ -1,0 +1,441 @@
+//! AIG preprocessing for the PLIC3 model checkers.
+//!
+//! Real HWMCC-style circuits are dominated by redundant logic that IC3 then
+//! pays for on every relative-induction query. This crate implements the
+//! simplification pass every serious checker front-loads before encoding:
+//!
+//! * **structural hashing + constant folding** — the circuit is rebuilt
+//!   through [`plic3_aig::AigBuilder`], merging syntactically identical AND
+//!   gates and folding constants through gates,
+//! * **constant sweeping** — latches proven stuck at a constant by ternary
+//!   fixed-point simulation ([`ternary::stuck_latches`]) are replaced by that
+//!   constant, which lets more folding happen downstream,
+//! * **latch-equivalence merging** — latches proven pairwise equal in every
+//!   reachable state (partition refinement with strashed next-state
+//!   signatures) collapse onto one representative,
+//! * **cone-of-influence reduction** — inputs, latches and gates that do not
+//!   transitively feed the checked property or an invariant constraint are
+//!   dropped.
+//!
+//! The passes run as rounds of one combined rewrite until the circuit stops
+//! changing. Crucially, every round records an invertible [`Reconstruction`],
+//! so a counterexample found on the simplified circuit replays on the
+//! **original** circuit ([`Preprocessed::replay_on_original`]) and an
+//! inductive invariant of the simplified circuit certifies the original
+//! property. `docs/PREPROCESSING.md` gives the per-pass soundness argument.
+//!
+//! # Example
+//!
+//! ```
+//! use plic3_aig::AigBuilder;
+//! use plic3_prep::preprocess;
+//!
+//! // Two identical toggles plus a stuck guard; preprocessing collapses the
+//! // state to a single latch.
+//! let mut b = AigBuilder::new();
+//! let t1 = b.latch(Some(false));
+//! let t2 = b.latch(Some(false));
+//! let guard = b.latch(Some(true));
+//! b.set_latch_next(t1, !t1);
+//! b.set_latch_next(t2, !t2);
+//! b.set_latch_next(guard, guard);
+//! let both = b.and(t1, t2);
+//! let bad = b.and(both, guard);
+//! b.add_bad(bad);
+//! let prep = preprocess(&b.build());
+//! assert_eq!(prep.aig.num_latches(), 1);
+//! assert_eq!(prep.stats.latches_before, 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod equiv;
+mod recon;
+mod rewrite;
+pub mod ternary;
+
+pub use recon::{Reconstruction, SignalSource};
+
+use plic3_aig::{Aig, Simulator};
+use plic3_ts::{Trace, TransitionSystem};
+use rewrite::LatchFate;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Configuration of the preprocessing pipeline.
+///
+/// Structural hashing and constant folding are intrinsic to the rewrite
+/// engine and always on; the analyses and the cone-of-influence pruning can
+/// be toggled individually (mainly for ablations and debugging).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Preprocessor {
+    /// Replace stuck-at latches (found by ternary simulation) with constants.
+    pub constant_sweep: bool,
+    /// Merge latches proven equivalent by partition refinement.
+    pub merge_equivalent: bool,
+    /// Drop logic outside the cone of influence of the property and the
+    /// constraints (also drops secondary outputs/bad literals, which the
+    /// checkers never read).
+    pub coi: bool,
+    /// Maximum number of rewrite rounds (each round re-runs the analyses on
+    /// the previous round's output; the loop stops early at a fixpoint).
+    pub max_rounds: usize,
+}
+
+impl Default for Preprocessor {
+    fn default() -> Self {
+        Preprocessor {
+            constant_sweep: true,
+            merge_equivalent: true,
+            coi: true,
+            max_rounds: 4,
+        }
+    }
+}
+
+/// Size and effect statistics of one preprocessing run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct PrepStats {
+    /// Rewrite rounds executed.
+    pub rounds: usize,
+    /// Inputs before / after.
+    pub inputs_before: usize,
+    /// Inputs surviving preprocessing.
+    pub inputs_after: usize,
+    /// Latches before preprocessing.
+    pub latches_before: usize,
+    /// Latches surviving preprocessing.
+    pub latches_after: usize,
+    /// AND gates before preprocessing.
+    pub ands_before: usize,
+    /// AND gates surviving preprocessing.
+    pub ands_after: usize,
+    /// Latches replaced by constants (summed over rounds).
+    pub stuck_latches: usize,
+    /// Latches merged into an equivalent representative (summed over rounds).
+    pub merged_latches: usize,
+    /// Wall-clock time spent preprocessing.
+    pub prep_time: Duration,
+}
+
+impl fmt::Display for PrepStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "prep {} rounds, latches {}→{}, ands {}→{}, inputs {}→{}, {} stuck, {} merged, {:?}",
+            self.rounds,
+            self.latches_before,
+            self.latches_after,
+            self.ands_before,
+            self.ands_after,
+            self.inputs_before,
+            self.inputs_after,
+            self.stuck_latches,
+            self.merged_latches,
+            self.prep_time
+        )
+    }
+}
+
+/// The result of preprocessing: the simplified circuit, the witness map back
+/// to the original, and run statistics.
+#[derive(Clone, Debug)]
+pub struct Preprocessed {
+    /// The simplified circuit. Encode this (not the original) into the
+    /// transition system handed to the engines.
+    pub aig: Aig,
+    /// The witness map from executions of [`Preprocessed::aig`] back to
+    /// executions of the original circuit.
+    pub reconstruction: Reconstruction,
+    /// Statistics of the run.
+    pub stats: PrepStats,
+    original: Aig,
+}
+
+impl Preprocessed {
+    /// The original (un-preprocessed) circuit.
+    pub fn original(&self) -> &Aig {
+        &self.original
+    }
+
+    /// Maps a counterexample [`Trace`] found on the *simplified* circuit to an
+    /// execution of the *original* circuit: the initial latch valuation and
+    /// the per-step input vectors, both in the original circuit's ordering.
+    /// Returns `None` for the empty trace.
+    ///
+    /// `ts` must be the transition system encoded from [`Preprocessed::aig`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ts` was encoded from a circuit with different input/latch
+    /// counts than [`Preprocessed::aig`].
+    pub fn map_witness(
+        &self,
+        ts: &TransitionSystem,
+        trace: &Trace,
+    ) -> Option<(Vec<bool>, Vec<Vec<bool>>)> {
+        assert_eq!(
+            ts.aig_num_latches(),
+            self.aig.num_latches(),
+            "transition system does not belong to the preprocessed circuit"
+        );
+        assert_eq!(ts.aig_num_inputs(), self.aig.num_inputs());
+        if trace.is_empty() {
+            return None;
+        }
+        let simplified_init = trace.aig_initial_state(ts, &self.aig);
+        let mut frames = trace.aig_input_vectors(ts);
+        // The bad literal is observed when stepping *from* the final state
+        // (mirrors `Trace::replay_on_aig`).
+        if frames.len() < trace.states().len() {
+            frames.push(vec![false; self.aig.num_inputs()]);
+        }
+        let initial = self
+            .reconstruction
+            .map_initial_state(&simplified_init, &self.original);
+        let inputs = frames
+            .iter()
+            .map(|frame| self.reconstruction.map_input_frame(frame))
+            .collect();
+        Some((initial, inputs))
+    }
+
+    /// Replays a counterexample trace found on the simplified circuit on the
+    /// **original** circuit and returns `true` if it reaches a bad state there
+    /// (with all invariant constraints holding on the way).
+    ///
+    /// This is the end-to-end witness check used by the experiment harness
+    /// before reporting `Unsafe` for a preprocessed run.
+    pub fn replay_on_original(&self, ts: &TransitionSystem, trace: &Trace) -> bool {
+        let Some((initial, inputs)) = self.map_witness(ts, trace) else {
+            return false;
+        };
+        Simulator::from_state(&self.original, initial).run_reaches_bad(&inputs)
+    }
+}
+
+impl Preprocessor {
+    /// Runs the pipeline on `original`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `original` fails [`Aig::validate`].
+    pub fn run(&self, original: &Aig) -> Preprocessed {
+        let started = Instant::now();
+        original
+            .validate()
+            .expect("cannot preprocess an invalid AIG");
+        let mut stats = PrepStats {
+            inputs_before: original.num_inputs(),
+            latches_before: original.num_latches(),
+            ands_before: original.num_ands(),
+            ..PrepStats::default()
+        };
+        let mut current = original.clone();
+        let mut reconstruction =
+            Reconstruction::identity(original.num_inputs(), original.num_latches());
+        for _ in 0..self.max_rounds.max(1) {
+            let fates = self.latch_fates(&current, &mut stats);
+            let (next, step) = rewrite::rewrite(&current, &fates, self.coi);
+            let changed = next != current;
+            reconstruction = reconstruction.compose(&step);
+            current = next;
+            stats.rounds += 1;
+            if !changed {
+                break;
+            }
+        }
+        stats.inputs_after = current.num_inputs();
+        stats.latches_after = current.num_latches();
+        stats.ands_after = current.num_ands();
+        stats.prep_time = started.elapsed();
+        debug_assert!(current.validate().is_ok());
+        Preprocessed {
+            aig: current,
+            reconstruction,
+            stats,
+            original: original.clone(),
+        }
+    }
+
+    /// Decides the fate of every latch of `aig` for one round: stuck-at
+    /// constants win, then equivalence merges, then plain keeps.
+    fn latch_fates(&self, aig: &Aig, stats: &mut PrepStats) -> Vec<LatchFate> {
+        let stuck = if self.constant_sweep {
+            ternary::stuck_latches(aig)
+        } else {
+            vec![None; aig.num_latches()]
+        };
+        let reps: Vec<usize> = if self.merge_equivalent {
+            equiv::equivalent_latches(aig, &stuck)
+        } else {
+            (0..aig.num_latches()).collect()
+        };
+        (0..aig.num_latches())
+            .map(|i| match stuck[i] {
+                Some(c) => {
+                    stats.stuck_latches += 1;
+                    LatchFate::Stuck(c)
+                }
+                None if reps[i] != i => {
+                    stats.merged_latches += 1;
+                    LatchFate::Merge {
+                        representative: reps[i],
+                    }
+                }
+                None => LatchFate::Keep,
+            })
+            .collect()
+    }
+}
+
+/// Runs the default preprocessing pipeline on `aig`.
+///
+/// # Panics
+///
+/// Panics if `aig` fails [`Aig::validate`].
+pub fn preprocess(aig: &Aig) -> Preprocessed {
+    Preprocessor::default().run(aig)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plic3_aig::AigBuilder;
+    use plic3_logic::{Cube, Lit};
+
+    /// An unsafe circuit with every kind of redundancy: a counting core, a
+    /// duplicate copy of it, a stuck guard, and junk outside the cone.
+    fn redundant_counter() -> Aig {
+        let mut b = AigBuilder::new();
+        let enable = b.input();
+        let junk_in = b.input();
+        let mut copies = Vec::new();
+        for _ in 0..2 {
+            let bits = b.latches(2, Some(false));
+            let inc = b.vec_increment(&bits);
+            for (s, n) in bits.iter().zip(&inc) {
+                let nxt = b.ite(enable, *n, *s);
+                b.set_latch_next(*s, nxt);
+            }
+            copies.push(bits);
+        }
+        let guard = b.latch(Some(true));
+        b.set_latch_next(guard, guard);
+        let junk = b.latch(Some(false));
+        b.set_latch_next(junk, junk_in);
+        let at3_a = b.vec_equals_const(&copies[0], 3);
+        let at3_b = b.vec_equals_const(&copies[1], 3);
+        let either = b.or(at3_a, at3_b);
+        let bad = b.and(either, guard);
+        b.add_bad(bad);
+        b.build()
+    }
+
+    #[test]
+    fn pipeline_collapses_all_redundancy() {
+        let aig = redundant_counter();
+        let prep = preprocess(&aig);
+        prep.aig.validate().expect("preprocessed AIG is valid");
+        assert_eq!(prep.aig.num_latches(), 2, "one 2-bit counter remains");
+        assert_eq!(prep.aig.num_inputs(), 1, "the junk input is dropped");
+        assert!(prep.stats.stuck_latches >= 1);
+        assert!(prep.stats.merged_latches >= 2);
+        assert_eq!(prep.stats.latches_before, 6);
+        assert_eq!(prep.stats.latches_after, 2);
+        assert!(prep.stats.rounds >= 2);
+        assert_eq!(prep.original(), &aig);
+        let rendered = prep.stats.to_string();
+        assert!(rendered.contains("latches 6→2"), "got: {rendered}");
+    }
+
+    #[test]
+    fn witness_maps_back_to_the_original_circuit() {
+        let aig = redundant_counter();
+        let prep = preprocess(&aig);
+        let ts = TransitionSystem::from_aig(&prep.aig);
+        assert_eq!(ts.num_latches(), 2);
+        // Drive the simplified counter 00 → 01 → 10 → 11 with enable high.
+        let trace = Trace::from_bits(
+            &ts,
+            &[
+                &[false, false],
+                &[true, false],
+                &[false, true],
+                &[true, true],
+            ],
+            &[&[true], &[true], &[true]],
+        );
+        assert!(
+            trace.replay_on_aig(&ts, &prep.aig),
+            "trace is valid on the simplified circuit"
+        );
+        let (initial, inputs) = prep.map_witness(&ts, &trace).expect("non-empty trace");
+        assert_eq!(initial.len(), aig.num_latches());
+        assert_eq!(inputs[0].len(), aig.num_inputs());
+        assert!(prep.replay_on_original(&ts, &trace));
+        // The empty trace maps to nothing.
+        assert!(!prep.replay_on_original(&ts, &Trace::default()));
+    }
+
+    #[test]
+    fn disabled_passes_are_really_disabled() {
+        let aig = redundant_counter();
+        let off = Preprocessor {
+            constant_sweep: false,
+            merge_equivalent: false,
+            coi: false,
+            max_rounds: 4,
+        };
+        let prep = off.run(&aig);
+        assert_eq!(prep.stats.stuck_latches, 0);
+        assert_eq!(prep.stats.merged_latches, 0);
+        assert_eq!(prep.aig.num_latches(), aig.num_latches());
+        assert_eq!(prep.aig.num_inputs(), aig.num_inputs());
+    }
+
+    #[test]
+    fn trivially_constant_properties_survive_the_pipeline() {
+        // Property stuck at false → trivially safe circuit.
+        let mut b = AigBuilder::new();
+        let guard = b.latch(Some(false));
+        b.set_latch_next(guard, guard);
+        let toggle = b.latch(Some(false));
+        b.set_latch_next(toggle, !toggle);
+        let bad = b.and(guard, toggle);
+        b.add_bad(bad);
+        let prep = preprocess(&b.build());
+        assert_eq!(prep.aig.num_latches(), 0);
+        assert_eq!(prep.aig.bad()[0], plic3_aig::AigLit::FALSE);
+    }
+
+    #[test]
+    fn circuits_without_a_property_do_not_panic() {
+        let mut b = AigBuilder::new();
+        let l = b.latch(Some(false));
+        b.set_latch_next(l, l);
+        let prep = preprocess(&b.build());
+        assert_eq!(prep.aig.num_latches(), 0);
+        assert!(prep.aig.property_literal().is_none());
+    }
+
+    #[test]
+    fn single_state_trace_on_an_initially_bad_circuit_maps_back() {
+        // Original: bad = guard (stuck at 1) AND latch (init 1). The
+        // preprocessed circuit is bad at reset; a 0-step trace must replay.
+        let mut b = AigBuilder::new();
+        let guard = b.latch(Some(true));
+        b.set_latch_next(guard, guard);
+        let l = b.latch(Some(true));
+        b.set_latch_next(l, !l);
+        let bad = b.and(guard, l);
+        b.add_bad(bad);
+        let aig = b.build();
+        let prep = preprocess(&aig);
+        let ts = TransitionSystem::from_aig(&prep.aig);
+        let state: Cube = ts.latch_vars().map(Lit::pos).collect();
+        let trace = Trace::single_state(state);
+        assert!(prep.replay_on_original(&ts, &trace));
+    }
+}

@@ -11,6 +11,8 @@
 //! * [`sat`] — the incremental CDCL SAT solver with assumption cores,
 //! * [`aig`] — and-inverter graphs, the AIGER format, simulation,
 //! * [`ts`] — transition systems, Tseitin encoding, unrolling, traces,
+//! * [`prep`] — the AIG preprocessing pipeline (COI, strashing, constant
+//!   sweeping, latch-equivalence merging) with witness reconstruction,
 //! * [`ic3`] — the IC3/PDR engine with CTP-based lemma prediction (the paper's
 //!   contribution),
 //! * [`bmc`] — bounded model checking and k-induction baselines,
@@ -42,5 +44,6 @@ pub use plic3_benchmarks as benchmarks;
 pub use plic3_bmc as bmc;
 pub use plic3_harness as harness;
 pub use plic3_logic as logic;
+pub use plic3_prep as prep;
 pub use plic3_sat as sat;
 pub use plic3_ts as ts;
