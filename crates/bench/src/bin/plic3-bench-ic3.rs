@@ -13,24 +13,33 @@
 //!                     --samples always wins)
 //! ```
 //!
-//! Each workload is measured twice — `…_raw` checks the original circuit,
-//! `…_prep` runs the `plic3-prep` pipeline first (its cost is part of the
-//! measured time) — and the JSON records the pair's speedup:
+//! Each workload is measured three times — `…_raw` checks the original
+//! circuit with the single IC3 engine, `…_prep` runs the `plic3-prep`
+//! pipeline first (its cost is part of the measured time), and
+//! `…_portfolio` runs preprocessing plus the in-process portfolio engine
+//! (BMC, k-induction and four IC3 variants racing; the verdict is verified
+//! like the others). The JSON records the pairwise speedups:
 //!
 //! ```json
 //! {
 //!   "schema": "plic3-bench-ic3/v1",
 //!   "benches": {
 //!     "ic3/redundant_rings_raw":  { "median_ns": 1234, ... },
-//!     "ic3/redundant_rings_prep": { "median_ns": 617, ..., "speedup_vs_raw": 2.0 }
+//!     "ic3/redundant_rings_prep": { "median_ns": 617, ..., "speedup_vs_raw": 2.0 },
+//!     "ic3/redundant_rings_portfolio": { "median_ns": 400, ...,
+//!         "speedup_vs_best_single": 1.5 }
 //!   }
 //! }
 //! ```
+//!
+//! `speedup_vs_best_single` compares the portfolio against the **better** of
+//! the two single-engine runs of the same workload.
 
 use plic3::{Config, Ic3};
 use plic3_aig::Aig;
 use plic3_bench::ic3_workloads::{guarded_counter, redundant_rings, redundant_unsafe_counter};
 use plic3_bench::timing::{BenchResult, Criterion};
+use plic3_portfolio::{Portfolio, PortfolioConfig};
 use plic3_prep::preprocess;
 use plic3_ts::TransitionSystem;
 use std::fmt::Write as _;
@@ -100,6 +109,35 @@ fn check_prep(aig: &Aig, expect_safe: bool) {
     black_box(result);
 }
 
+/// One timed iteration of the portfolio engine: simplify, encode, race the
+/// default worker set, and verify the winning verdict — the same pipeline the
+/// harness runs under `--engine portfolio`. Panics on a wrong or unverified
+/// verdict.
+fn check_portfolio(aig: &Aig, expect_safe: bool) {
+    let prep = preprocess(aig);
+    let ts = TransitionSystem::from_aig(&prep.aig);
+    let mut portfolio = Portfolio::new(ts, PortfolioConfig::default());
+    let outcome = portfolio.check();
+    match &outcome.result {
+        plic3_portfolio::PortfolioResult::Safe(proof) => {
+            assert!(expect_safe, "portfolio verdict flipped");
+            plic3_portfolio::verify_safety_proof(portfolio.ts(), proof)
+                .expect("winning proof verifies");
+        }
+        plic3_portfolio::PortfolioResult::Unsafe(trace) => {
+            assert!(!expect_safe, "portfolio verdict flipped");
+            assert!(
+                prep.replay_on_original(portfolio.ts(), trace),
+                "witness failed to replay on the original circuit"
+            );
+        }
+        plic3_portfolio::PortfolioResult::Unknown(reason) => {
+            panic!("portfolio gave up ({reason}) on a tracked workload")
+        }
+    }
+    black_box(outcome);
+}
+
 fn render_json(results: &[BenchResult]) -> String {
     let median_of = |name: &str| -> Option<u128> {
         results
@@ -124,6 +162,18 @@ fn render_json(results: &[BenchResult]) -> String {
                 if r.median.as_nanos() > 0 {
                     let speedup = raw_median as f64 / r.median.as_nanos() as f64;
                     let _ = write!(out, ", \"speedup_vs_raw\": {speedup:.3}");
+                }
+            }
+        }
+        if let Some(base) = r.name.strip_suffix("_portfolio") {
+            let best_single = [format!("{base}_raw"), format!("{base}_prep")]
+                .iter()
+                .filter_map(|name| median_of(name))
+                .min();
+            if let Some(best) = best_single {
+                if r.median.as_nanos() > 0 {
+                    let speedup = best as f64 / r.median.as_nanos() as f64;
+                    let _ = write!(out, ", \"speedup_vs_best_single\": {speedup:.3}");
                 }
             }
         }
@@ -166,6 +216,9 @@ fn main() {
         });
         criterion.bench_function(&format!("{name}_prep"), |b| {
             b.iter(|| check_prep(aig, *expect_safe))
+        });
+        criterion.bench_function(&format!("{name}_portfolio"), |b| {
+            b.iter(|| check_portfolio(aig, *expect_safe))
         });
     }
     let json = render_json(criterion.results());

@@ -6,6 +6,22 @@
 //! the tests agree on what gets measured, plus [`timing`] — a minimal
 //! Criterion-compatible measurement loop so the workspace stays free of
 //! external dependencies.
+//!
+//! # Example
+//!
+//! Timing an arbitrary closure with the in-tree harness:
+//!
+//! ```
+//! use plic3_bench::timing::Criterion;
+//!
+//! let mut criterion = Criterion::with_sample_size(3);
+//! criterion.bench_function("sum_1k", |b| {
+//!     b.iter(|| (0..1000u64).sum::<u64>())
+//! });
+//! let results = criterion.results();
+//! assert_eq!(results.len(), 1);
+//! assert_eq!(results[0].samples, 3);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -32,6 +32,12 @@ pub enum LiteralOrdering {
     /// literals that do **not** occur in any subsumed lemma of the previous
     /// frame first, to increase the chance the result propagates.
     ParentGuided,
+    /// A deterministic pseudo-random permutation keyed on the seed and the
+    /// cube's literals. Used by the portfolio engine to diversify otherwise
+    /// identical IC3 workers: the same cube always gets the same drop order
+    /// within one configuration (the engine stays deterministic), but two
+    /// workers with different seeds explore different generalizations.
+    Seeded(u64),
 }
 
 /// Resource budgets for one [`crate::Ic3::check`] call.

@@ -58,7 +58,7 @@ mod statistics;
 mod verify;
 
 pub use config::{Config, GeneralizeMode, Limits, LiteralOrdering};
-pub use engine::Ic3;
+pub use engine::{Ic3, LemmaSink, LemmaSource};
 pub use plic3_sat::StopFlag;
 pub use result::{Certificate, CheckResult, UnknownReason};
 pub use statistics::Statistics;

@@ -16,14 +16,19 @@
 //! Options:
 //!   --full            run the full HWMCC-style suite (default: quick suite)
 //!   --timeout <secs>  per-case wall-clock budget (default: 10)
-//!   --jobs <n>        worker threads of the portfolio runner (default: all cores)
+//!   --jobs <n>        total thread budget (default: all cores)
+//!   --engine <e>      `single` (default) runs the paper's six configurations;
+//!                     `portfolio` races BMC, k-induction and four IC3
+//!                     variants *inside* each case, splitting the --jobs
+//!                     budget between concurrent cases and in-case workers
 //!   --no-preprocess   skip the AIG preprocessing pipeline (default: on)
 //!   --csv <dir>       also write CSV files into <dir>
 //! ```
 
 use plic3_benchmarks::Suite;
 use plic3_harness::{
-    ablation, fig2, fig3, fig4, run_experiment, table1, table2, Configuration, RunnerConfig,
+    ablation, fig2, fig3, fig4, portfolio_run, run_experiment, run_portfolio_experiment, table1,
+    table2, Configuration, RunnerConfig,
 };
 use std::path::PathBuf;
 use std::time::Duration;
@@ -33,6 +38,7 @@ struct Options {
     full: bool,
     timeout: Duration,
     jobs: usize,
+    portfolio: bool,
     preprocess: bool,
     csv_dir: Option<PathBuf>,
 }
@@ -43,6 +49,7 @@ fn parse_args() -> Result<Options, String> {
         full: false,
         timeout: Duration::from_secs(10),
         jobs: 0,
+        portfolio: false,
         preprocess: true,
         csv_dir: None,
     };
@@ -67,6 +74,18 @@ fn parse_args() -> Result<Options, String> {
                 let value = args.next().ok_or("--jobs needs a value")?;
                 options.jobs = value.parse().map_err(|_| "invalid --jobs value")?;
             }
+            "--engine" => {
+                let value = args.next().ok_or("--engine needs a value")?;
+                options.portfolio = match value.as_str() {
+                    "single" => false,
+                    "portfolio" => true,
+                    other => {
+                        return Err(format!(
+                            "unknown engine '{other}' (expected single or portfolio)"
+                        ))
+                    }
+                };
+            }
             "--no-preprocess" => options.preprocess = false,
             "--csv" => {
                 let value = args.next().ok_or("--csv needs a directory")?;
@@ -83,6 +102,13 @@ fn parse_args() -> Result<Options, String> {
             "unknown command '{}' (expected one of {})",
             options.command,
             COMMANDS.join(", ")
+        ));
+    }
+    if options.portfolio && options.command != "all" {
+        return Err(format!(
+            "--engine portfolio races strategies instead of comparing the \
+             paper's configurations; the '{}' artifact does not apply to it",
+            options.command
         ));
     }
     Ok(options)
@@ -156,6 +182,33 @@ fn main() {
     };
     if options.preprocess {
         print_preprocessing_summary(&suite);
+    }
+
+    if options.portfolio {
+        let budget = plic3_harness::experiment_thread_budget(&runner);
+        eprintln!(
+            "running {} instances under the portfolio engine \
+             ({} workers/case x {} concurrent cases, per-case timeout {:?})",
+            suite.len(),
+            budget.workers_per_case,
+            budget.concurrent_cases,
+            runner.timeout
+        );
+        let data = run_portfolio_experiment(&suite, &runner);
+        if data.wrong_verdicts() > 0 || data.unverified() > 0 {
+            eprintln!(
+                "WARNING: {} wrong verdicts, {} unverified proofs",
+                data.wrong_verdicts(),
+                data.unverified()
+            );
+        }
+        println!("{}", portfolio_run::render(&data));
+        write_csv(
+            &options.csv_dir,
+            "portfolio.csv",
+            &portfolio_run::to_csv(&data),
+        );
+        return;
     }
 
     if options.command == "ablation" {

@@ -43,11 +43,16 @@ pub mod ablation;
 pub mod fig2;
 pub mod fig3;
 pub mod fig4;
+pub mod portfolio_run;
 pub mod report;
 mod runner;
 pub mod table1;
 pub mod table2;
 
+pub use portfolio_run::{
+    experiment_thread_budget, run_portfolio_case, run_portfolio_experiment, PortfolioCaseResult,
+    PortfolioData, ThreadBudget,
+};
 pub use runner::{
     run_case, run_experiment, run_experiment_with_workers, CaseResult, Configuration,
     ExperimentData, RunnerConfig, Verdict,

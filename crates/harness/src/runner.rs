@@ -333,7 +333,8 @@ fn run_case_with_stop(
 /// The watchdog shared by all workers of one experiment run: a sorted-by-scan
 /// list of armed (deadline, flag) pairs serviced by a dedicated thread, so a
 /// case whose budget expires is cancelled even in the middle of a SAT query.
-struct Watchdog {
+/// Shared with the portfolio experiment runner (`portfolio_run`).
+pub(crate) struct Watchdog {
     state: Mutex<WatchdogState>,
     wakeup: Condvar,
 }
@@ -345,7 +346,7 @@ struct WatchdogState {
 }
 
 impl Watchdog {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Watchdog {
             state: Mutex::new(WatchdogState {
                 next_id: 0,
@@ -358,7 +359,7 @@ impl Watchdog {
 
     /// Registers `flag` to be raised at `deadline`; returns a token for
     /// [`Watchdog::disarm`].
-    fn arm(&self, deadline: Instant, flag: StopFlag) -> u64 {
+    pub(crate) fn arm(&self, deadline: Instant, flag: StopFlag) -> u64 {
         let mut state = self.state.lock().expect("watchdog lock");
         let id = state.next_id;
         state.next_id += 1;
@@ -368,19 +369,19 @@ impl Watchdog {
     }
 
     /// Withdraws an armed deadline (the case finished within its budget).
-    fn disarm(&self, id: u64) {
+    pub(crate) fn disarm(&self, id: u64) {
         let mut state = self.state.lock().expect("watchdog lock");
         state.armed.retain(|(armed_id, _, _)| *armed_id != id);
     }
 
-    fn shutdown(&self) {
+    pub(crate) fn shutdown(&self) {
         self.state.lock().expect("watchdog lock").shutdown = true;
         self.wakeup.notify_one();
     }
 
     /// The watchdog thread body: sleep until the earliest armed deadline (or a
     /// new arming), raise every expired flag, repeat until shutdown.
-    fn run(&self) {
+    pub(crate) fn run(&self) {
         let mut state = self.state.lock().expect("watchdog lock");
         loop {
             if state.shutdown {

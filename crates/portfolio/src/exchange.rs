@@ -1,0 +1,143 @@
+//! The bounded lemma-exchange hub connecting the IC3 workers of a portfolio.
+//!
+//! Every sharing worker owns an [`Inbox`] — a mutex-protected, bounded
+//! double-ended queue of `(cube, level)` candidates. A worker that pushes a
+//! lemma publishes it to every *other* inbox; when an inbox is full the
+//! delivery is dropped (and counted), never blocked on — a slow consumer can
+//! cost the portfolio shared lemmas, but never progress.
+//!
+//! The hub is a plumbing layer only: candidates travel as plain data and the
+//! receiving engine re-proves every one of them before adoption (see
+//! [`plic3::Ic3::set_lemma_source`]), so nothing here is trusted for
+//! soundness.
+
+use plic3_logic::Cube;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Aggregate lemma-traffic counters of one portfolio run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExchangeStats {
+    /// Lemma deliveries placed into some worker's inbox.
+    pub published: u64,
+    /// Deliveries dropped because the receiving inbox was full.
+    pub dropped: u64,
+}
+
+/// One sharing worker's bounded inbox.
+pub(crate) struct Inbox {
+    queue: Mutex<VecDeque<(Cube, usize)>>,
+    capacity: usize,
+}
+
+impl Inbox {
+    fn new(capacity: usize) -> Self {
+        Inbox {
+            queue: Mutex::new(VecDeque::new()),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Appends a candidate unless the inbox is full. Returns `false` when the
+    /// delivery was dropped.
+    fn offer(&self, cube: &Cube, level: usize) -> bool {
+        let mut queue = self.queue.lock().expect("inbox lock");
+        if queue.len() >= self.capacity {
+            return false;
+        }
+        queue.push_back((cube.clone(), level));
+        true
+    }
+
+    /// Moves every pending candidate into `buf` (oldest first).
+    pub(crate) fn drain_into(&self, buf: &mut Vec<(Cube, usize)>) {
+        let mut queue = self.queue.lock().expect("inbox lock");
+        buf.extend(queue.drain(..));
+    }
+}
+
+/// The exchange hub: one inbox per sharing worker plus the traffic counters.
+pub(crate) struct Hub {
+    inboxes: Vec<Arc<Inbox>>,
+    published: AtomicU64,
+    dropped: AtomicU64,
+}
+
+impl Hub {
+    pub(crate) fn new(members: usize, capacity: usize) -> Arc<Self> {
+        Arc::new(Hub {
+            inboxes: (0..members)
+                .map(|_| Arc::new(Inbox::new(capacity)))
+                .collect(),
+            published: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        })
+    }
+
+    /// The inbox of the sharing member with the given slot.
+    pub(crate) fn inbox(&self, slot: usize) -> Arc<Inbox> {
+        self.inboxes[slot].clone()
+    }
+
+    /// Fans a lemma out to every member except the sender.
+    pub(crate) fn publish(&self, sender: usize, cube: &Cube, level: usize) {
+        for (slot, inbox) in self.inboxes.iter().enumerate() {
+            if slot == sender {
+                continue;
+            }
+            if inbox.offer(cube, level) {
+                self.published.fetch_add(1, Ordering::Relaxed);
+            } else {
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    pub(crate) fn stats(&self) -> ExchangeStats {
+        ExchangeStats {
+            published: self.published.load(Ordering::Relaxed),
+            dropped: self.dropped.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plic3_logic::{Lit, Var};
+
+    fn cube(v: u32) -> Cube {
+        Cube::from_lits([Lit::pos(Var::new(v))])
+    }
+
+    #[test]
+    fn publish_reaches_everyone_but_the_sender() {
+        let hub = Hub::new(3, 8);
+        hub.publish(0, &cube(1), 2);
+        let mut buf = Vec::new();
+        hub.inbox(0).drain_into(&mut buf);
+        assert!(buf.is_empty(), "sender must not hear its own lemma");
+        hub.inbox(1).drain_into(&mut buf);
+        hub.inbox(2).drain_into(&mut buf);
+        assert_eq!(buf.len(), 2);
+        assert_eq!(hub.stats().published, 2);
+        assert_eq!(hub.stats().dropped, 0);
+    }
+
+    #[test]
+    fn full_inboxes_drop_instead_of_blocking() {
+        let hub = Hub::new(2, 2);
+        for i in 0..5 {
+            hub.publish(0, &cube(i), 1);
+        }
+        assert_eq!(hub.stats().published, 2, "capacity bounds the queue");
+        assert_eq!(hub.stats().dropped, 3);
+        let mut buf = Vec::new();
+        hub.inbox(1).drain_into(&mut buf);
+        assert_eq!(buf.len(), 2);
+        // Draining frees the capacity again.
+        hub.publish(0, &cube(9), 1);
+        assert_eq!(hub.stats().published, 3);
+    }
+}

@@ -1,77 +1,107 @@
-//! Sequential latch-equivalence detection by partition refinement
+//! Sequential latch-equivalence detection by *signed* partition refinement
 //! (van-Eijk-style, but purely structural: candidate classes are refined with
 //! strashed next-state signatures instead of SAT checks, so every surviving
 //! class is proven equivalent by induction and no solver is needed).
+//!
+//! Classes are signed: a latch can be equivalent to a classmate (`l ≡ m`) or
+//! to its complement (`l ≡ ¬m`). The phase of each latch relative to its
+//! class representative is tracked explicitly, so a pair of registers that
+//! reset to opposite values and toggle in lock-step still collapses onto one
+//! representative.
 
 use plic3_aig::{Aig, AigBuilder, AigLit};
 use std::collections::HashMap;
 
-/// Partitions the latches of `aig` into classes that provably hold the same
-/// value in every reachable state. Returns, for each latch index, the
-/// representative (smallest) latch index of its class; `reps[i] == i` means
-/// the latch is its own class.
+/// Partitions the latches of `aig` into signed classes that provably hold the
+/// same (or the complemented) value in every reachable state. Returns, for
+/// each latch index, the representative (smallest) latch index of its class
+/// and the phase relative to it: `(i, false)` means the latch is its own
+/// class, `(r, true)` means the latch always equals `¬r`.
 ///
 /// `stuck` is the per-latch stuck-at result of
 /// [`crate::ternary::stuck_latches`]; stuck latches are excluded from
 /// the partition (they are handled by constant sweeping) but their constants
 /// strengthen the signatures of everything downstream.
 ///
-/// Soundness is by induction over time. The initial partition only groups
-/// latches with the *same constant reset value*, so classmates agree at step
-/// 0 (uninitialized latches are frozen as singletons — their step-0 values
-/// are independent). The refinement loop keeps two latches together only if
-/// their next-state functions are structurally identical *after substituting
-/// every latch by its class representative* (and every stuck latch by its
-/// constant); under the induction hypothesis that classmates agree at step
-/// `t`, identical substituted functions yield identical values at step
-/// `t + 1`. A partition the loop cannot refine further is therefore an
-/// inductive equivalence.
-pub(crate) fn equivalent_latches(aig: &Aig, stuck: &[Option<bool>]) -> Vec<usize> {
+/// Soundness is by induction over time. The initial partition puts every
+/// *initialized*, non-stuck latch into one class, with the phase recording
+/// whether its reset value is the complement of the representative's — so
+/// classmates agree (phase-adjusted) at step 0. Uninitialized latches are
+/// frozen as singletons: their step-0 values are independent. The refinement
+/// loop keeps two latches together only if their next-state functions are
+/// structurally identical *after substituting every latch by its
+/// phase-adjusted class representative* (and every stuck latch by its
+/// constant), **and** the structural phase between the two next-state
+/// functions matches the phase between the latches. Under the induction
+/// hypothesis that classmates agree phase-adjusted at step `t`, identical
+/// substituted functions then yield phase-consistent values at step `t + 1`.
+/// A partition the loop cannot refine further is therefore an inductive
+/// (signed) equivalence.
+pub(crate) fn equivalent_latches(aig: &Aig, stuck: &[Option<bool>]) -> Vec<(usize, bool)> {
     let n = aig.num_latches();
     let mut reps: Vec<usize> = (0..n).collect();
+    let mut phase: Vec<bool> = vec![false; n];
     let frozen: Vec<bool> = aig
         .latches()
         .iter()
         .zip(stuck)
         .map(|(latch, stuck)| latch.init.is_none() || stuck.is_some())
         .collect();
-    // Initial partition: one class per reset constant.
-    let mut first_with_reset: [Option<usize>; 2] = [None, None];
+    // Initial partition: one signed class holding every candidate; the phase
+    // encodes the reset value relative to the first candidate's.
+    let mut leader: Option<(usize, bool)> = None;
     for (i, latch) in aig.latches().iter().enumerate() {
         if frozen[i] {
             continue;
         }
-        let slot = &mut first_with_reset[usize::from(latch.init == Some(true))];
-        reps[i] = *slot.get_or_insert(i);
+        let init = latch.init == Some(true);
+        match leader {
+            None => leader = Some((i, init)),
+            Some((l, leader_init)) => {
+                reps[i] = l;
+                phase[i] = init != leader_init;
+            }
+        }
     }
     if reps.iter().enumerate().all(|(i, &r)| r == i) {
-        return reps;
+        return reps.into_iter().zip(phase).collect();
     }
-    // Refine until stable. Each round either splits a class or terminates, so
-    // at most n rounds run.
+    // Refine until stable. Each round either splits a class or terminates (a
+    // stable round keeps every leader, which pins the phases too), so at most
+    // n rounds run.
     loop {
-        let sigs = signatures(aig, stuck, &reps);
-        let mut group_rep: HashMap<(usize, u32), usize> = HashMap::new();
-        let mut next: Vec<usize> = (0..n).collect();
+        let sigs = signatures(aig, stuck, &reps, &phase);
+        let mut group_leader: HashMap<(usize, u32), usize> = HashMap::new();
+        let mut next_reps: Vec<usize> = (0..n).collect();
+        let mut next_phase: Vec<bool> = vec![false; n];
         for i in 0..n {
             if frozen[i] {
                 continue;
             }
-            next[i] = *group_rep.entry((reps[i], sigs[i])).or_insert(i);
+            // Two classmates may stay together only if their substituted
+            // next-state functions sit on the same strashed node AND the
+            // structural phase between the functions equals the phase between
+            // the latches — i.e. `sig_neg XOR phase` agrees.
+            let bit = sigs[i].is_negated() != phase[i];
+            let key = (reps[i], (sigs[i].variable() << 1) | u32::from(bit));
+            let leader = *group_leader.entry(key).or_insert(i);
+            next_reps[i] = leader;
+            next_phase[i] = phase[i] != phase[leader];
         }
-        if next == reps {
-            return reps;
+        if next_reps == reps && next_phase == phase {
+            return reps.into_iter().zip(phase).collect();
         }
-        reps = next;
+        reps = next_reps;
+        phase = next_phase;
     }
 }
 
 /// Computes, for each latch, the structural signature of its next-state
-/// function with every latch substituted by its class representative and
-/// every stuck latch substituted by its constant. Signatures are literal
-/// codes in a strashed scratch builder, so structurally identical functions
-/// collide exactly.
-fn signatures(aig: &Aig, stuck: &[Option<bool>], reps: &[usize]) -> Vec<u32> {
+/// function with every latch substituted by its phase-adjusted class
+/// representative and every stuck latch substituted by its constant.
+/// Signatures are literals in a strashed scratch builder, so structurally
+/// identical (or complemented) functions collide exactly (up to negation).
+fn signatures(aig: &Aig, stuck: &[Option<bool>], reps: &[usize], phase: &[bool]) -> Vec<AigLit> {
     let mut b = AigBuilder::new();
     let mut mapped: Vec<AigLit> = vec![AigLit::FALSE; aig.max_var() as usize + 1];
     for i in 0..aig.num_inputs() {
@@ -89,9 +119,10 @@ fn signatures(aig: &Aig, stuck: &[Option<bool>], reps: &[usize]) -> Vec<u32> {
                     AigLit::FALSE
                 }
             }
-            None => *rep_node
+            None => rep_node
                 .entry(reps[i])
-                .or_insert_with(|| b.latch(latch.init)),
+                .or_insert_with(|| b.latch(latch.init))
+                .negate_if(phase[i]),
         };
         mapped[latch.lit.variable() as usize] = node;
     }
@@ -102,7 +133,7 @@ fn signatures(aig: &Aig, stuck: &[Option<bool>], reps: &[usize]) -> Vec<u32> {
     }
     aig.latches()
         .iter()
-        .map(|latch| map(&mapped, latch.next).code())
+        .map(|latch| map(&mapped, latch.next))
         .collect()
 }
 
@@ -115,7 +146,7 @@ mod tests {
     use super::*;
     use crate::ternary;
 
-    fn analyse(aig: &Aig) -> Vec<usize> {
+    fn analyse(aig: &Aig) -> Vec<(usize, bool)> {
         equivalent_latches(aig, &ternary::stuck_latches(aig))
     }
 
@@ -128,7 +159,7 @@ mod tests {
         b.set_latch_next(c, !c);
         let both = b.and(a, c);
         b.add_bad(both);
-        assert_eq!(analyse(&b.build()), vec![0, 0]);
+        assert_eq!(analyse(&b.build()), vec![(0, false), (0, false)]);
     }
 
     #[test]
@@ -148,7 +179,9 @@ mod tests {
         let bad = b.and(rings[0][0], rings[1][1]);
         b.add_bad(bad);
         let reps = analyse(&b.build());
-        assert_eq!(reps, vec![0, 1, 2, 0, 1, 2]);
+        let expected: Vec<(usize, bool)> =
+            [0, 1, 2, 0, 1, 2].into_iter().map(|r| (r, false)).collect();
+        assert_eq!(reps, expected);
     }
 
     #[test]
@@ -164,11 +197,14 @@ mod tests {
         b.add_bad(toggle);
         let reps = analyse(&b.build());
         // `hold` is stuck (handled elsewhere), the other two differ.
-        assert_eq!(reps, vec![0, 1, 2]);
+        assert_eq!(reps, vec![(0, false), (1, false), (2, false)]);
     }
 
     #[test]
-    fn different_reset_values_block_merging() {
+    fn complemented_toggles_merge_with_a_negated_phase() {
+        // a resets to 0, c resets to 1, both toggle: c ≡ ¬a in every
+        // reachable state. The equality-only analysis of PR 3 kept them apart;
+        // the signed refinement merges them.
         let mut b = AigBuilder::new();
         let a = b.latch(Some(false));
         let c = b.latch(Some(true));
@@ -176,7 +212,37 @@ mod tests {
         b.set_latch_next(c, !c);
         let bad = b.and(a, c);
         b.add_bad(bad);
-        assert_eq!(analyse(&b.build()), vec![0, 1]);
+        assert_eq!(analyse(&b.build()), vec![(0, false), (0, true)]);
+    }
+
+    #[test]
+    fn complemented_followers_merge_when_phases_are_consistent() {
+        // a follows x, c follows ¬x, with complemented resets: c ≡ ¬a.
+        let mut b = AigBuilder::new();
+        let x = b.input();
+        let a = b.latch(Some(false));
+        let c = b.latch(Some(true));
+        b.set_latch_next(a, x);
+        b.set_latch_next(c, !x);
+        let bad = b.and(a, c);
+        b.add_bad(bad);
+        assert_eq!(analyse(&b.build()), vec![(0, false), (0, true)]);
+    }
+
+    #[test]
+    fn complement_candidates_with_inconsistent_phases_stay_apart() {
+        // Complemented resets but *identical* next-state functions: the
+        // latches agree at every step ≥ 1 yet differ at step 0, so no signed
+        // class may keep them together.
+        let mut b = AigBuilder::new();
+        let x = b.input();
+        let a = b.latch(Some(false));
+        let c = b.latch(Some(true));
+        b.set_latch_next(a, x);
+        b.set_latch_next(c, x);
+        let bad = b.and(a, c);
+        b.add_bad(bad);
+        assert_eq!(analyse(&b.build()), vec![(0, false), (1, false)]);
     }
 
     #[test]
@@ -190,6 +256,6 @@ mod tests {
         b.set_latch_next(c, x);
         let bad = b.and(a, !c);
         b.add_bad(bad);
-        assert_eq!(analyse(&b.build()), vec![0, 1]);
+        assert_eq!(analyse(&b.build()), vec![(0, false), (1, false)]);
     }
 }

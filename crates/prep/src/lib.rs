@@ -10,9 +10,10 @@
 //! * **constant sweeping** — latches proven stuck at a constant by ternary
 //!   fixed-point simulation ([`ternary::stuck_latches`]) are replaced by that
 //!   constant, which lets more folding happen downstream,
-//! * **latch-equivalence merging** — latches proven pairwise equal in every
-//!   reachable state (partition refinement with strashed next-state
-//!   signatures) collapse onto one representative,
+//! * **latch-equivalence merging** — latches proven pairwise equal *or
+//!   complementary* in every reachable state (signed partition refinement
+//!   with strashed next-state signatures) collapse onto one representative,
+//!   with the phase recorded in the witness map,
 //! * **cone-of-influence reduction** — inputs, latches and gates that do not
 //!   transitively feed the checked property or an invariant constraint are
 //!   dropped.
@@ -267,10 +268,10 @@ impl Preprocessor {
         } else {
             vec![None; aig.num_latches()]
         };
-        let reps: Vec<usize> = if self.merge_equivalent {
+        let reps: Vec<(usize, bool)> = if self.merge_equivalent {
             equiv::equivalent_latches(aig, &stuck)
         } else {
-            (0..aig.num_latches()).collect()
+            (0..aig.num_latches()).map(|i| (i, false)).collect()
         };
         (0..aig.num_latches())
             .map(|i| match stuck[i] {
@@ -278,10 +279,11 @@ impl Preprocessor {
                     stats.stuck_latches += 1;
                     LatchFate::Stuck(c)
                 }
-                None if reps[i] != i => {
+                None if reps[i].0 != i => {
                     stats.merged_latches += 1;
                     LatchFate::Merge {
-                        representative: reps[i],
+                        representative: reps[i].0,
+                        negated: reps[i].1,
                     }
                 }
                 None => LatchFate::Keep,
@@ -377,6 +379,59 @@ mod tests {
         assert!(prep.replay_on_original(&ts, &trace));
         // The empty trace maps to nothing.
         assert!(!prep.replay_on_original(&ts, &Trace::default()));
+    }
+
+    #[test]
+    fn complemented_shadow_register_merges_and_round_trips() {
+        // A 2-bit free-running counter plus a shadow register `c` that always
+        // holds ¬b0 (complemented reset, complemented next-state function).
+        // bad = b1 ∧ b0 ∧ ¬c ≡ counter == 3. The signed merge collapses `c`
+        // into ¬b0; the witness found on the 2-latch circuit must replay on
+        // the original 3-latch one, with `c` reconstructed through the
+        // negated source.
+        let mut b = AigBuilder::new();
+        let b0 = b.latch(Some(false));
+        let b1 = b.latch(Some(false));
+        let c = b.latch(Some(true));
+        let b1_next = b.xor(b1, b0);
+        b.set_latch_next(b0, !b0);
+        b.set_latch_next(b1, b1_next);
+        b.set_latch_next(c, b0);
+        let hi = b.and(b1, b0);
+        let bad = b.and(hi, !c);
+        b.add_bad(bad);
+        let aig = b.build();
+        let prep = preprocess(&aig);
+        assert_eq!(prep.aig.num_latches(), 2, "the shadow register is merged");
+        assert!(prep.stats.merged_latches >= 1);
+        let negated_sources = (0..aig.num_latches())
+            .filter(|&i| {
+                matches!(
+                    prep.reconstruction.latch_source(i),
+                    SignalSource::Kept { negated: true, .. }
+                )
+            })
+            .count();
+        assert_eq!(negated_sources, 1, "exactly the shadow is complemented");
+        // Drive the simplified counter 00 → 01 → 10 → 11 (free-running).
+        let ts = TransitionSystem::from_aig(&prep.aig);
+        let trace = Trace::from_bits(
+            &ts,
+            &[
+                &[false, false],
+                &[true, false],
+                &[false, true],
+                &[true, true],
+            ],
+            &[&[], &[], &[]],
+        );
+        assert!(trace.replay_on_aig(&ts, &prep.aig));
+        let (initial, _) = prep.map_witness(&ts, &trace).expect("non-empty trace");
+        assert_eq!(initial, vec![false, false, true], "c reconstructs to ¬b0");
+        assert!(
+            prep.replay_on_original(&ts, &trace),
+            "round trip: the witness replays on the original circuit"
+        );
     }
 
     #[test]

@@ -15,11 +15,13 @@ pub(crate) enum LatchFate {
     Keep,
     /// The latch is replaced by a constant everywhere.
     Stuck(bool),
-    /// The latch is replaced by the (kept) representative latch of its
-    /// equivalence class.
+    /// The latch is replaced by the (kept) representative latch of its signed
+    /// equivalence class, complemented when `negated` is set (`l ≡ ¬rep`).
     Merge {
         /// Index of the representative latch; must itself be [`LatchFate::Keep`].
         representative: usize,
+        /// `true` when the latch is the *complement* of its representative.
+        negated: bool,
     },
 }
 
@@ -37,7 +39,7 @@ pub(crate) enum LatchFate {
 pub(crate) fn rewrite(aig: &Aig, fates: &[LatchFate], coi: bool) -> (Aig, Reconstruction) {
     debug_assert_eq!(fates.len(), aig.num_latches());
     for fate in fates {
-        if let LatchFate::Merge { representative } = fate {
+        if let LatchFate::Merge { representative, .. } = fate {
             debug_assert_eq!(
                 fates[*representative],
                 LatchFate::Keep,
@@ -62,7 +64,7 @@ pub(crate) fn rewrite(aig: &Aig, fates: &[LatchFate], coi: bool) -> (Aig, Recons
             if let Some(idx) = aig.latch_index(AigLit::positive(v)) {
                 match fates[idx] {
                     LatchFate::Stuck(_) => return,
-                    LatchFate::Merge { representative } => {
+                    LatchFate::Merge { representative, .. } => {
                         v = aig.latches()[representative].lit.variable();
                         continue;
                     }
@@ -149,8 +151,12 @@ pub(crate) fn rewrite(aig: &Aig, fates: &[LatchFate], coi: bool) -> (Aig, Recons
             LatchFate::Stuck(c) => {
                 mapped[var] = Some(if c { AigLit::TRUE } else { AigLit::FALSE });
             }
-            LatchFate::Merge { representative } => {
-                mapped[var] = mapped[aig.latches()[representative].lit.variable() as usize];
+            LatchFate::Merge {
+                representative,
+                negated,
+            } => {
+                mapped[var] = mapped[aig.latches()[representative].lit.variable() as usize]
+                    .map(|l| l.negate_if(negated));
             }
         }
     }
@@ -214,11 +220,11 @@ pub(crate) fn rewrite(aig: &Aig, fates: &[LatchFate], coi: bool) -> (Aig, Recons
                 },
                 None => SignalSource::Free,
             },
-            LatchFate::Merge { representative } => match new_latch_index[representative] {
-                Some(index) => SignalSource::Kept {
-                    index,
-                    negated: false,
-                },
+            LatchFate::Merge {
+                representative,
+                negated,
+            } => match new_latch_index[representative] {
+                Some(index) => SignalSource::Kept { index, negated },
                 None => SignalSource::Free,
             },
         })
@@ -302,7 +308,13 @@ mod tests {
         let bad = b.and(a, c);
         b.add_bad(bad);
         let aig = b.build();
-        let fates = [LatchFate::Keep, LatchFate::Merge { representative: 0 }];
+        let fates = [
+            LatchFate::Keep,
+            LatchFate::Merge {
+                representative: 0,
+                negated: false,
+            },
+        ];
         let (out, recon) = rewrite(&aig, &fates, true);
         assert_eq!(out.num_latches(), 1);
         // bad = a AND a folds to a single literal.
@@ -318,6 +330,37 @@ mod tests {
         let mut sim = Simulator::new(&out);
         assert!(!sim.step(&[]).property_violated());
         assert!(sim.step(&[]).property_violated());
+    }
+
+    #[test]
+    fn negated_merges_substitute_the_complement() {
+        // a toggles from 0, c toggles from 1: c ≡ ¬a. bad = a AND c is then
+        // a AND ¬a ≡ false, so the rewrite folds the property away entirely.
+        let mut b = AigBuilder::new();
+        let a = b.latch(Some(false));
+        let c = b.latch(Some(true));
+        b.set_latch_next(a, !a);
+        b.set_latch_next(c, !c);
+        let bad = b.and(a, c);
+        b.add_bad(bad);
+        let aig = b.build();
+        let fates = [
+            LatchFate::Keep,
+            LatchFate::Merge {
+                representative: 0,
+                negated: true,
+            },
+        ];
+        let (out, recon) = rewrite(&aig, &fates, true);
+        out.validate().expect("rewrite output is valid");
+        assert_eq!(out.bad()[0], AigLit::FALSE, "a AND ¬a folds to false");
+        assert_eq!(
+            recon.latch_source(1),
+            SignalSource::Kept {
+                index: 0,
+                negated: true
+            }
+        );
     }
 
     #[test]

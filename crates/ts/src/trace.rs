@@ -104,6 +104,30 @@ impl Trace {
     ///
     /// This is the end-to-end validation used by the engines before reporting
     /// `Unsafe`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use plic3_aig::AigBuilder;
+    /// use plic3_ts::{Trace, TransitionSystem};
+    ///
+    /// // A latch that follows its input; bad once the latch is 1. Replay
+    /// // re-simulates the circuit from the trace's initial state under the
+    /// // trace's inputs, so only executions that genuinely reach a bad
+    /// // state pass.
+    /// let mut b = AigBuilder::new();
+    /// let x = b.input();
+    /// let l = b.latch(Some(false));
+    /// b.set_latch_next(l, x);
+    /// b.add_bad(l);
+    /// let aig = b.build();
+    /// let ts = TransitionSystem::from_aig(&aig);
+    /// let good = Trace::from_bits(&ts, &[&[false], &[true]], &[&[true]]);
+    /// assert!(good.replay_on_aig(&ts, &aig));
+    /// // Driving the input low instead never violates the property.
+    /// let bogus = Trace::from_bits(&ts, &[&[false], &[false]], &[&[false]]);
+    /// assert!(!bogus.replay_on_aig(&ts, &aig));
+    /// ```
     pub fn replay_on_aig(&self, ts: &TransitionSystem, aig: &Aig) -> bool {
         if self.states.is_empty() {
             return false;

@@ -1,0 +1,81 @@
+//! End-to-end portfolio quickstart: race the default worker set on one safe
+//! and one unsafe instance, verify both verdicts independently, and print
+//! who won. This is the example the README quotes and the CI smoke step runs.
+//!
+//! ```text
+//! cargo run --release --example portfolio_quickstart
+//! ```
+
+use plic3_repro::aig::{Aig, AigBuilder};
+use plic3_repro::portfolio::{verify_safety_proof, Portfolio, PortfolioConfig, PortfolioResult};
+use plic3_repro::ts::TransitionSystem;
+
+/// Safe: a one-hot token ring — two adjacent cells can never both hold the
+/// token.
+fn safe_ring(n: usize) -> Aig {
+    let mut b = AigBuilder::new();
+    let cells: Vec<_> = (0..n).map(|i| b.latch(Some(i == 0))).collect();
+    for i in 0..n {
+        b.set_latch_next(cells[i], cells[(i + n - 1) % n]);
+    }
+    let mut clashes = Vec::new();
+    for i in 0..n {
+        let clash = b.and(cells[i], cells[(i + 1) % n]);
+        clashes.push(clash);
+    }
+    let bad = b.or_many(&clashes);
+    b.add_bad(bad);
+    b.build()
+}
+
+/// Unsafe: a free-running counter that provably reaches its bad value.
+fn unsafe_counter(bits: usize, bad_at: u64) -> Aig {
+    let mut b = AigBuilder::new();
+    let state = b.latches(bits, Some(false));
+    let inc = b.vec_increment(&state);
+    for (s, n) in state.iter().zip(&inc) {
+        b.set_latch_next(*s, *n);
+    }
+    let bad = b.vec_equals_const(&state, bad_at);
+    b.add_bad(bad);
+    b.build()
+}
+
+fn race(name: &str, aig: &Aig) {
+    let mut portfolio = Portfolio::from_aig(aig, PortfolioConfig::default());
+    let outcome = portfolio.check();
+    match &outcome.result {
+        PortfolioResult::Safe(proof) => {
+            verify_safety_proof(portfolio.ts(), proof).expect("proof re-checks");
+            println!(
+                "{name}: SAFE in {:?} (winner: {}, proof independently verified)",
+                outcome.runtime,
+                outcome.winner_label().unwrap_or("?"),
+            );
+        }
+        PortfolioResult::Unsafe(trace) => {
+            let ts = TransitionSystem::from_aig(aig);
+            assert!(trace.replay_on_aig(&ts, aig), "trace replays");
+            println!(
+                "{name}: UNSAFE in {:?} ({}-step counterexample by {}, replay verified)",
+                outcome.runtime,
+                trace.len(),
+                outcome.winner_label().unwrap_or("?"),
+            );
+        }
+        PortfolioResult::Unknown(reason) => {
+            panic!("{name}: portfolio gave up ({reason}) — these instances are tiny")
+        }
+    }
+    for report in &outcome.workers {
+        println!(
+            "    {:<14} {:?} after {:?}",
+            report.label, report.status, report.runtime
+        );
+    }
+}
+
+fn main() {
+    race("token_ring_8 (safe)", &safe_ring(8));
+    race("counter_4_bad_11 (unsafe)", &unsafe_counter(4, 11));
+}

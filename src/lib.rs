@@ -16,6 +16,8 @@
 //! * [`ic3`] — the IC3/PDR engine with CTP-based lemma prediction (the paper's
 //!   contribution),
 //! * [`bmc`] — bounded model checking and k-induction baselines,
+//! * [`portfolio`] — the in-process portfolio engine racing BMC, k-induction
+//!   and diversified IC3 variants with sound lemma sharing,
 //! * [`benchmarks`] — the synthetic HWMCC-style circuit suite,
 //! * [`harness`] — the experiment harness regenerating the paper's tables and
 //!   figures.
@@ -44,6 +46,7 @@ pub use plic3_benchmarks as benchmarks;
 pub use plic3_bmc as bmc;
 pub use plic3_harness as harness;
 pub use plic3_logic as logic;
+pub use plic3_portfolio as portfolio;
 pub use plic3_prep as prep;
 pub use plic3_sat as sat;
 pub use plic3_ts as ts;
