@@ -12,28 +12,56 @@
 //!                     --samples always wins)
 //! ```
 //!
-//! The JSON maps each benchmark to its median/min/mean nanoseconds, plus a
-//! `propagations_per_sec` figure for the propagation-throughput bench:
+//! Every conflict-driven workload is measured as a **paired A/B**: once under
+//! the modern search defaults (EMA restarts, rephasing, chronological
+//! backtracking, inprocessing) and once under [`SearchConfig::classic`] — the
+//! pre-modernization engine (fixed Luby restarts, plain phase saving, no
+//! inprocessing). The modern entry carries `speedup_vs_classic`
+//! (`classic_median / modern_median`), so the before/after effect of the
+//! search engine is recorded from one binary on one machine. Verdicts are
+//! asserted inside the measured closures: a broken solver cannot masquerade
+//! as a fast one.
 //!
 //! ```json
 //! {
-//!   "schema": "plic3-bench-sat/v1",
+//!   "schema": "plic3-bench-sat/v2",
 //!   "benches": {
-//!     "sat/pigeonhole_7": { "median_ns": 1234, ... },
+//!     "sat/pigeonhole_7":         { "median_ns": 1234, ..., "speedup_vs_classic": 1.4 },
+//!     "sat/pigeonhole_7_classic": { "median_ns": 1728, ... },
 //!     "sat/propagate_chain_100k": { "median_ns": 1234, ..., "propagations_per_sec": 5.6e8 }
 //!   }
 //! }
 //! ```
 
-use plic3_bench::sat_workloads::{implication_chain, pigeonhole};
+use plic3_bench::sat_workloads::{
+    implication_chain, incremental_activation_rounds, pigeonhole_with, random_3sat,
+};
 use plic3_bench::timing::{BenchResult, Criterion};
-use plic3_sat::SatResult;
+use plic3_sat::{SatResult, SearchConfig};
 use std::fmt::Write as _;
 use std::hint::black_box;
 use std::path::PathBuf;
 
 /// Length of the implication chain driven by the propagation bench.
 const CHAIN_LEN: usize = 100_000;
+
+/// Variables / clauses of the satisfiable-leaning random 3-CNF workload
+/// (ratio ≈ 4.0, below the phase transition) and the seed range solved per
+/// iteration — several instances per sample smooth out the huge per-instance
+/// variance of random SAT, so the A/B compares search engines rather than
+/// the luck of one seed.
+const RAND_SAT: (u32, u32, std::ops::Range<u64>) = (150, 600, 10..16);
+
+/// Variables / clauses / seed range of the unsatisfiable-leaning random
+/// 3-CNF workload (ratio ≈ 4.7, above the phase transition). Uniform random
+/// UNSAT is the classic workload where glucose-style heuristics do *not*
+/// pay; it is kept in the suite precisely so that regression stays visible.
+const RAND_UNSAT: (u32, u32, std::ops::Range<u64>) = (110, 517, 0..6);
+
+/// Variables / clauses / rounds / seed of the IC3-shaped incremental
+/// activation-literal workload (base ratio ≈ 3.6: satisfiable, so the rounds
+/// mix Sat and Unsat verdicts like real relative-induction queries).
+const INCREMENTAL: (u32, u32, u32, u64) = (120, 430, 400, 21);
 
 struct Options {
     out: PathBuf,
@@ -75,9 +103,43 @@ fn chain_propagations() -> u64 {
     solver.stats().propagations - before
 }
 
+/// Registers the modern/classic pair of one conflict-driven workload. The
+/// workload returns a verdict fingerprint (any `Eq` summary of its results);
+/// the fingerprint of the modern run is pinned and asserted against the
+/// classic run inside the measured closures, so both sides provably solve
+/// the same problems to the same answers.
+fn bench_pair<T: PartialEq + std::fmt::Debug>(
+    criterion: &mut Criterion,
+    name: &str,
+    mut run: impl FnMut(SearchConfig) -> T,
+) {
+    let modern = SearchConfig::default();
+    let classic = SearchConfig::classic();
+    let expected = run(modern);
+    criterion.bench_function(&format!("sat/{name}"), |b| {
+        b.iter(|| assert_eq!(black_box(run(modern)), expected, "{name}: modern verdict"))
+    });
+    criterion.bench_function(&format!("sat/{name}_classic"), |b| {
+        b.iter(|| assert_eq!(black_box(run(classic)), expected, "{name}: classic verdict"))
+    });
+}
+
+/// The pairing rule shared by the JSON report and the console summary: for a
+/// modern entry, the median-over-median speedup against its `<name>_classic`
+/// twin, if the entry is measurable and the twin exists.
+fn classic_speedup(results: &[BenchResult], r: &BenchResult) -> Option<f64> {
+    if r.name.ends_with("_classic") || r.median.as_nanos() == 0 {
+        return None;
+    }
+    results
+        .iter()
+        .find(|c| c.name == format!("{}_classic", r.name))
+        .map(|c| c.median.as_secs_f64() / r.median.as_secs_f64())
+}
+
 fn render_json(results: &[BenchResult], props_per_iter: u64) -> String {
     let mut out = String::new();
-    out.push_str("{\n  \"schema\": \"plic3-bench-sat/v1\",\n  \"benches\": {\n");
+    out.push_str("{\n  \"schema\": \"plic3-bench-sat/v2\",\n  \"benches\": {\n");
     for (i, r) in results.iter().enumerate() {
         let _ = write!(
             out,
@@ -91,6 +153,10 @@ fn render_json(results: &[BenchResult], props_per_iter: u64) -> String {
         if r.name.starts_with("sat/propagate_chain") && r.median.as_nanos() > 0 {
             let per_sec = props_per_iter as f64 / r.median.as_secs_f64();
             let _ = write!(out, ", \"propagations_per_sec\": {per_sec:.0}");
+        }
+        // The modern side of a pair records its speedup over the classic side.
+        if let Some(speedup) = classic_speedup(results, r) {
+            let _ = write!(out, ", \"speedup_vs_classic\": {speedup:.3}");
         }
         out.push_str(" }");
         if i + 1 < results.len() {
@@ -117,11 +183,36 @@ fn main() {
         Some(samples) => Criterion::with_sample_size(samples),
         None => Criterion::default().sample_size(20),
     };
-    criterion.bench_function("sat/pigeonhole_7", |b| {
-        b.iter(|| {
-            let mut solver = pigeonhole(7);
-            black_box(solver.solve(&[]))
-        })
+
+    bench_pair(&mut criterion, "pigeonhole_7", |search| {
+        let mut solver = pigeonhole_with(7, search);
+        let verdict = solver.solve(&[]);
+        assert_eq!(verdict, SatResult::Unsat, "pigeonhole must be unsat");
+        verdict
+    });
+    let (sv, sc, ss) = RAND_SAT;
+    bench_pair(&mut criterion, "random3sat_sat_150v_x6", move |search| {
+        ss.clone()
+            .map(|seed| {
+                let mut solver = random_3sat(sv, sc, seed, search);
+                solver.solve(&[])
+            })
+            .collect::<Vec<_>>()
+    });
+    let (uv, uc, us) = RAND_UNSAT;
+    bench_pair(&mut criterion, "random3sat_unsat_110v_x6", move |search| {
+        us.clone()
+            .map(|seed| {
+                let mut solver = random_3sat(uv, uc, seed, search);
+                solver.solve(&[])
+            })
+            .collect::<Vec<_>>()
+    });
+    // The incremental workload's "verdict" is the number of Sat rounds; it is
+    // search-independent and pinned the same way.
+    let (iv, ic, ir, is) = INCREMENTAL;
+    bench_pair(&mut criterion, "incremental_act_400r", |search| {
+        incremental_activation_rounds(iv, ic, ir, is, search)
     });
     criterion.bench_function("sat/propagate_chain_100k", |b| {
         // The solver (and its clause arena) is built once; every iteration
@@ -129,6 +220,7 @@ fn main() {
         let (mut solver, trigger) = implication_chain(CHAIN_LEN);
         b.iter(|| black_box(solver.solve(&[trigger])))
     });
+
     let json = render_json(criterion.results(), props_per_iter);
     if let Some(result) = criterion
         .results()
@@ -137,6 +229,11 @@ fn main() {
     {
         let per_sec = props_per_iter as f64 / result.median.as_secs_f64();
         println!("{:<40} {per_sec:.3e} propagations/s", "sat/throughput");
+    }
+    for r in criterion.results() {
+        if let Some(speedup) = classic_speedup(criterion.results(), r) {
+            println!("{:<40} {speedup:.2}x vs classic", r.name);
+        }
     }
     if let Err(e) = std::fs::write(&options.out, &json) {
         eprintln!("error: cannot write {:?}: {e}", options.out);

@@ -1,15 +1,33 @@
 //! Shared SAT formula constructors used by the `engine` micro-benchmarks and
 //! the `plic3-bench-sat` baseline emitter, so both measure the same workloads.
+//!
+//! Every constructor takes a [`SearchConfig`], because the bench binary
+//! measures each workload as a *paired A/B*: once with the modern search
+//! defaults and once with [`SearchConfig::classic`] (the pre-modernization
+//! engine), so `BENCH_sat.json` records before/after entries from the same
+//! binary on the same machine.
 
-use plic3_logic::{Lit, Var};
-use plic3_sat::Solver;
+use plic3_logic::{Lit, SplitMix64, Var};
+use plic3_sat::{SatResult, SearchConfig, Solver, SolverConfig};
+
+fn solver_with(search: SearchConfig) -> Solver {
+    Solver::with_config(SolverConfig {
+        search,
+        ..SolverConfig::default()
+    })
+}
 
 /// Pigeonhole formula: `n + 1` pigeons into `n` holes (unsatisfiable).
 ///
 /// The classic resolution-hard instance; its solve time is dominated by
 /// conflict analysis and learnt-clause management.
 pub fn pigeonhole(n: u32) -> Solver {
-    let mut solver = Solver::new();
+    pigeonhole_with(n, SearchConfig::default())
+}
+
+/// [`pigeonhole`] with an explicit search configuration.
+pub fn pigeonhole_with(n: u32, search: SearchConfig) -> Solver {
+    let mut solver = solver_with(search);
     let pigeons = n + 1;
     let var = |p: u32, h: u32| Lit::pos(Var::new(p * n + h));
     solver.ensure_vars((pigeons * n) as usize);
@@ -32,7 +50,8 @@ pub fn pigeonhole(n: u32) -> Solver {
 /// Solving under the assumption `x_0` forces one unit propagation per link
 /// with no conflicts, so `solve(&[trigger])` isolates raw propagation /
 /// watch-list throughput: `n - 1` propagations per call, dominated by the
-/// two-watched-literal walk.
+/// two-watched-literal walk. (Search configuration is irrelevant here — the
+/// workload never conflicts — so there is no `_with` variant.)
 pub fn implication_chain(n: usize) -> (Solver, Lit) {
     assert!(n >= 2, "a chain needs at least two variables");
     let mut solver = Solver::new();
@@ -43,14 +62,87 @@ pub fn implication_chain(n: usize) -> (Solver, Lit) {
     (solver, lits[0])
 }
 
+/// A seeded uniform random 3-CNF over `vars` variables with `clauses`
+/// clauses (distinct variables within each clause).
+///
+/// At clause/variable ratios near the phase transition (≈ 4.26) these are
+/// the standard restart-policy-sensitive workloads: the EMA-vs-Luby and
+/// phase-handling differences show up here much more strongly than on
+/// structured instances.
+pub fn random_3sat(vars: u32, clauses: u32, seed: u64, search: SearchConfig) -> Solver {
+    let mut rng = SplitMix64::new(seed);
+    let mut solver = solver_with(search);
+    solver.ensure_vars(vars as usize);
+    for _ in 0..clauses {
+        let mut picked = [0u32; 3];
+        for i in 0..3 {
+            loop {
+                let candidate = rng.below(vars as u64) as u32;
+                if !picked[..i].contains(&candidate) {
+                    picked[i] = candidate;
+                    break;
+                }
+            }
+        }
+        solver.add_clause(picked.iter().map(|&v| Lit::new(Var::new(v), rng.bool())));
+    }
+    solver
+}
+
+/// An IC3-shaped incremental workload: a fixed random 3-CNF base (at a
+/// satisfiable ratio) solved over and over under per-round activation
+/// clauses and assumption sets, with the activation variable released after
+/// each round — the access pattern of `Ic3::solve_relative`.
+///
+/// Returns the number of `Sat` verdicts over `rounds` rounds (a deterministic
+/// function of the seed, asserted by the bench so a broken solver cannot
+/// masquerade as a fast one). Phase saving, best-phase reuse, and
+/// chronological backtracking all pay off here: consecutive queries differ
+/// only in one activation clause, so most of the previous model is reusable.
+pub fn incremental_activation_rounds(
+    vars: u32,
+    clauses: u32,
+    rounds: u32,
+    seed: u64,
+    search: SearchConfig,
+) -> u32 {
+    let mut rng = SplitMix64::new(seed);
+    let mut solver = random_3sat(vars, clauses, seed ^ 0xba5e, search);
+    let mut sat_count = 0u32;
+    for _ in 0..rounds {
+        let act = Lit::pos(solver.new_var());
+        // act → (random ternary clause): the "negated cube" of the round.
+        let mut clause = vec![!act];
+        for _ in 0..3 {
+            let v = rng.below(vars as u64) as u32;
+            clause.push(Lit::new(Var::new(v), rng.bool()));
+        }
+        solver.add_clause(clause);
+        // Two assumption literals next to the activation literal.
+        let mut assumptions = vec![act];
+        for _ in 0..2 {
+            let v = rng.below(vars as u64) as u32;
+            assumptions.push(Lit::new(Var::new(v), rng.bool()));
+        }
+        match solver.solve(&assumptions) {
+            SatResult::Sat => sat_count += 1,
+            SatResult::Unsat => {}
+            SatResult::Unknown => unreachable!("no budget or stop flag is set"),
+        }
+        solver.release_var(!act);
+    }
+    sat_count
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use plic3_sat::SatResult;
 
     #[test]
     fn pigeonhole_is_unsat() {
         let mut s = pigeonhole(3);
+        assert_eq!(s.solve(&[]), SatResult::Unsat);
+        let mut s = pigeonhole_with(3, SearchConfig::classic());
         assert_eq!(s.solve(&[]), SatResult::Unsat);
     }
 
@@ -61,5 +153,27 @@ mod tests {
         assert_eq!(s.solve(&[trigger]), SatResult::Sat);
         let propagated = s.stats().propagations - before;
         assert!(propagated >= 63, "expected ≥ 63 propagations: {propagated}");
+    }
+
+    #[test]
+    fn random_3sat_verdicts_are_search_independent() {
+        // The verdict is a property of the formula: classic and modern search
+        // must agree (this is what lets the bench pair them honestly).
+        for seed in 0..4u64 {
+            let mut modern = random_3sat(60, 250, seed, SearchConfig::default());
+            let mut classic = random_3sat(60, 250, seed, SearchConfig::classic());
+            assert_eq!(modern.solve(&[]), classic.solve(&[]), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn incremental_rounds_are_deterministic_per_config() {
+        let a = incremental_activation_rounds(40, 150, 20, 7, SearchConfig::default());
+        let b = incremental_activation_rounds(40, 150, 20, 7, SearchConfig::default());
+        assert_eq!(a, b, "same seed and config, same verdict sequence");
+        // Different search settings may take different paths but must count
+        // the same verdicts.
+        let c = incremental_activation_rounds(40, 150, 20, 7, SearchConfig::classic());
+        assert_eq!(a, c, "verdicts are search-independent");
     }
 }

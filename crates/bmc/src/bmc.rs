@@ -1,7 +1,7 @@
 //! Incremental bounded model checking.
 
 use plic3_logic::Cube;
-use plic3_sat::{SatResult, Solver, StopFlag};
+use plic3_sat::{SatResult, SearchConfig, Solver, StopFlag};
 use plic3_ts::{Trace, TransitionSystem, Unroller};
 use std::fmt;
 
@@ -104,6 +104,12 @@ impl<'a> Bmc<'a> {
     /// every future [`Bmc::check`] call return [`BmcResult::Unknown`] promptly.
     pub fn set_stop_flag(&mut self, stop: StopFlag) {
         self.solver.set_stop_flag(stop);
+    }
+
+    /// Replaces the SAT search configuration of the backing solver (portfolio
+    /// workers use this to diversify on search behaviour).
+    pub fn set_search_config(&mut self, search: SearchConfig) {
+        self.solver.set_search_config(search);
     }
 
     fn load_frame(&mut self, frame: usize) {

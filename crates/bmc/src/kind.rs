@@ -112,6 +112,14 @@ impl<'a> KInduction<'a> {
         self.step_solver.set_stop_flag(stop);
     }
 
+    /// Replaces the SAT search configuration of both the base-case and the
+    /// step-case solver (portfolio workers use this to diversify on search
+    /// behaviour).
+    pub fn set_search_config(&mut self, search: plic3_sat::SearchConfig) {
+        self.bmc.set_search_config(search);
+        self.step_solver.set_search_config(search);
+    }
+
     fn load_step_frame(&mut self, frame: usize) {
         while self.loaded_frames <= frame {
             let k = self.loaded_frames;

@@ -4,7 +4,7 @@ use crate::frames::Frames;
 use crate::{Certificate, CheckResult, Config, Statistics, UnknownReason};
 use plic3_aig::Aig;
 use plic3_logic::{Cube, Lit};
-use plic3_sat::{SatResult, Solver};
+use plic3_sat::{SatResult, Solver, SolverConfig};
 use plic3_ts::{Trace, TransitionSystem};
 use std::collections::HashMap;
 use std::time::Instant;
@@ -289,8 +289,18 @@ impl Ic3 {
     // Solver management
     // ------------------------------------------------------------------
 
+    /// The solver configuration shared by every solver this engine creates:
+    /// defaults except for the search behaviour, which comes from
+    /// [`Config::search`].
+    fn solver_config(&self) -> SolverConfig {
+        SolverConfig {
+            search: self.config.search,
+            ..SolverConfig::default()
+        }
+    }
+
     fn make_lift_solver(&self) -> Solver {
-        let mut solver = Solver::new();
+        let mut solver = Solver::with_config(self.solver_config());
         solver.set_stop_flag(self.config.stop.clone());
         solver.ensure_vars(self.ts.num_vars());
         for clause in self.ts.trans() {
@@ -300,7 +310,7 @@ impl Ic3 {
     }
 
     fn make_frame_solver(&self, level: usize) -> Solver {
-        let mut solver = Solver::new();
+        let mut solver = Solver::with_config(self.solver_config());
         solver.set_stop_flag(self.config.stop.clone());
         solver.ensure_vars(self.ts.num_vars());
         for clause in self.ts.trans() {
@@ -412,11 +422,14 @@ impl Ic3 {
                 SolveRelative::Inductive { core }
             }
             SatResult::Sat => {
-                let solver = &*frame_solver;
+                // One borrow of the packed model buffer serves all three cube
+                // extractions (and the predecessor lift that follows), instead
+                // of re-querying the solver literal by literal.
+                let model = frame_solver.model();
                 SolveRelative::Cti {
-                    predecessor: ts.state_cube_from(|v| solver.model_value(v)),
-                    inputs: ts.input_cube_from(|v| solver.model_value(v)),
-                    successor: ts.next_state_cube_from(|v| solver.model_value(v)),
+                    predecessor: ts.state_cube_from(|v| model.value(v)),
+                    inputs: ts.input_cube_from(|v| model.value(v)),
+                    successor: ts.next_state_cube_from(|v| model.value(v)),
                 }
             }
             // No model exists to read CTI cubes from; surface the interruption.
@@ -440,8 +453,9 @@ impl Ic3 {
         let solver = &mut self.solvers[level];
         match solver.solve(&assumptions) {
             SatResult::Sat => {
-                let state = self.ts.state_cube_from(|v| solver.model_value(v));
-                let inputs = self.ts.input_cube_from(|v| solver.model_value(v));
+                let model = solver.model();
+                let state = self.ts.state_cube_from(|v| model.value(v));
+                let inputs = self.ts.input_cube_from(|v| model.value(v));
                 Some((state, inputs))
             }
             _ => None,

@@ -657,8 +657,18 @@ mod tests {
             ..PortfolioConfig::default()
         };
         let workers = vec![
-            WorkerSpec::new("bmc", Strategy::Bmc),
-            WorkerSpec::new("k-induction", Strategy::KInduction),
+            WorkerSpec::new(
+                "bmc",
+                Strategy::Bmc {
+                    search: plic3_sat::SearchConfig::default(),
+                },
+            ),
+            WorkerSpec::new(
+                "k-induction",
+                Strategy::KInduction {
+                    search: plic3_sat::SearchConfig::default(),
+                },
+            ),
         ];
         let mut portfolio = Portfolio::from_aig(&aig, config).with_workers(workers);
         let started = Instant::now();

@@ -3,7 +3,7 @@
 use crate::exchange::Hub;
 use plic3::{CheckResult, Config, Ic3, LiteralOrdering, Statistics, UnknownReason};
 use plic3_bmc::{BmcDepthStatus, KInduction, KInductionResult};
-use plic3_sat::StopFlag;
+use plic3_sat::{RestartPolicy, SearchConfig, StopFlag};
 use plic3_ts::{Trace, TransitionSystem};
 use std::sync::Arc;
 use std::time::Duration;
@@ -17,13 +17,19 @@ pub enum Strategy {
     /// degrades to a (partially) sequential chain, the depth is clamped by
     /// [`FallbackBounds`] so this worker cannot starve the complete engines
     /// behind it.
-    Bmc,
+    Bmc {
+        /// Search behaviour of the backing SAT solver.
+        search: SearchConfig,
+    },
     /// k-induction with unbounded induction depth: proves k-inductive
     /// properties almost immediately and finds counterexamples through its
     /// base case; incomplete for everything else, and bounded by
     /// [`FallbackBounds`] in (partially) sequential chains like
     /// [`Strategy::Bmc`].
-    KInduction,
+    KInduction {
+        /// Search behaviour of both the base-case and step-case solvers.
+        search: SearchConfig,
+    },
     /// A full IC3 engine under the given configuration. IC3 workers are the
     /// only ones that take part in lemma sharing.
     Ic3(Config),
@@ -165,8 +171,8 @@ pub(crate) fn run_worker(
     exchange: Option<(Arc<Hub>, usize)>,
 ) -> (WorkerOutcome, Option<Statistics>) {
     match &spec.strategy {
-        Strategy::Bmc => (run_bmc(ts, limits, bounds, stop), None),
-        Strategy::KInduction => (run_kind(ts, limits, bounds, stop), None),
+        Strategy::Bmc { search } => (run_bmc(ts, limits, bounds, stop, *search), None),
+        Strategy::KInduction { search } => (run_kind(ts, limits, bounds, stop, *search), None),
         Strategy::Ic3(config) => run_ic3(ts, config, limits, stop, exchange),
     }
 }
@@ -176,8 +182,10 @@ fn run_bmc(
     limits: &plic3::Limits,
     bounds: Option<FallbackBounds>,
     stop: StopFlag,
+    search: SearchConfig,
 ) -> WorkerOutcome {
     let mut bmc = plic3_bmc::Bmc::new(ts);
+    bmc.set_search_config(search);
     bmc.set_stop_flag(stop.clone());
     bmc.set_conflict_budget(limits.max_conflicts);
     let max_depth = bounds.map(|b| b.bmc_depth).unwrap_or(usize::MAX);
@@ -209,8 +217,10 @@ fn run_kind(
     limits: &plic3::Limits,
     bounds: Option<FallbackBounds>,
     stop: StopFlag,
+    search: SearchConfig,
 ) -> WorkerOutcome {
     let mut kind = KInduction::new(ts);
+    kind.set_search_config(search);
     kind.set_stop_flag(stop.clone());
     kind.set_conflict_budget(limits.max_conflicts);
     let max_k = bounds.map(|b| b.max_k).unwrap_or(usize::MAX);
@@ -265,10 +275,27 @@ fn interruption_reason(stop: &StopFlag) -> UnknownReason {
 /// The default worker set: BMC, k-induction, and four diversified IC3
 /// variants — CTG generalization with prediction off and on, plain-MIC with
 /// prediction, and a seeded drop order (keyed on `seed`) with prediction.
+///
+/// The workers are additionally diversified on SAT *search* behaviour: the
+/// bulk runs the modern EMA-restart engine, `ic3-mic-pl` falls back to Luby
+/// restarts (better on some proof-heavy instances), and `ic3-seeded-pl` runs
+/// without chronological backtracking and with a faster rephasing cadence, so
+/// the portfolio covers restart/phase strategies as well as generalization
+/// strategies.
 pub fn default_workers(seed: u64) -> Vec<WorkerSpec> {
+    let modern = SearchConfig::default();
+    let luby = SearchConfig {
+        restart: RestartPolicy::Luby,
+        ..SearchConfig::default()
+    };
+    let eager_rephase = SearchConfig {
+        chrono: 0,
+        rephase_interval: 2048,
+        ..SearchConfig::default()
+    };
     vec![
-        WorkerSpec::new("bmc", Strategy::Bmc),
-        WorkerSpec::new("k-induction", Strategy::KInduction),
+        WorkerSpec::new("bmc", Strategy::Bmc { search: modern }),
+        WorkerSpec::new("k-induction", Strategy::KInduction { search: modern }),
         WorkerSpec::new("ic3-ctg", Strategy::Ic3(Config::ric3_like())),
         WorkerSpec::new(
             "ic3-ctg-pl",
@@ -276,14 +303,19 @@ pub fn default_workers(seed: u64) -> Vec<WorkerSpec> {
         ),
         WorkerSpec::new(
             "ic3-mic-pl",
-            Strategy::Ic3(Config::ic3ref_like().with_lemma_prediction(true)),
+            Strategy::Ic3(
+                Config::ic3ref_like()
+                    .with_lemma_prediction(true)
+                    .with_search(luby),
+            ),
         ),
         WorkerSpec::new(
             "ic3-seeded-pl",
             Strategy::Ic3(
                 Config::ric3_like()
                     .with_lemma_prediction(true)
-                    .with_ordering(LiteralOrdering::Seeded(seed)),
+                    .with_ordering(LiteralOrdering::Seeded(seed))
+                    .with_search(eager_rephase),
             ),
         ),
     ]

@@ -5,9 +5,14 @@
 //! Generalization of IC3*, DAC 2024):
 //!
 //! * two-literal watching with blocker literals,
-//! * first-UIP conflict analysis with basic clause minimization,
+//! * first-UIP conflict analysis with basic clause minimization and
+//!   on-the-fly self-subsumption,
 //! * VSIDS variable activities with an indexed max-heap,
-//! * phase saving, Luby restarts, learnt-clause database reduction,
+//! * glucose-style EMA restarts (with a Luby fallback mode), phase saving
+//!   with best-phase snapshotting and periodic rephasing, bounded
+//!   chronological backtracking, learnt-clause database reduction, and
+//!   restart-boundary vivification — all configurable through
+//!   [`SearchConfig`] (see `docs/SAT_SEARCH.md`),
 //! * incremental solving under **assumptions** with extraction of the
 //!   **assumption core** (the subset of assumptions used to derive UNSAT),
 //!   which IC3 uses to shrink blocked cubes for free.
@@ -43,6 +48,6 @@ mod stop;
 
 pub use brute::brute_force_sat;
 pub use dimacs::{parse_dimacs, ParseDimacsError};
-pub use solver::{SatResult, Solver, SolverConfig};
+pub use solver::{ModelView, RestartPolicy, SatResult, SearchConfig, Solver, SolverConfig};
 pub use stats::SolverStats;
 pub use stop::StopFlag;

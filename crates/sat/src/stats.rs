@@ -18,6 +18,17 @@ pub struct SolverStats {
     pub propagations: u64,
     /// Number of restarts performed.
     pub restarts: u64,
+    /// Number of EMA restarts suppressed by the trail-size blocking rule.
+    pub blocked_restarts: u64,
+    /// Number of rephasing events (polarity-vector rotations).
+    pub rephases: u64,
+    /// Number of conflicts resolved by a bounded chronological backtrack
+    /// instead of a full backjump.
+    pub chrono_backtracks: u64,
+    /// Number of learnt clauses shortened by restart-boundary vivification.
+    pub vivified_clauses: u64,
+    /// Number of clauses strengthened through on-the-fly self-subsumption.
+    pub strengthened_clauses: u64,
     /// Number of learnt clauses currently in the database.
     pub learnt_clauses: u64,
     /// Number of learnt clauses removed by database reduction.
@@ -46,6 +57,11 @@ impl SolverStats {
         self.decisions += other.decisions;
         self.propagations += other.propagations;
         self.restarts += other.restarts;
+        self.blocked_restarts += other.blocked_restarts;
+        self.rephases += other.rephases;
+        self.chrono_backtracks += other.chrono_backtracks;
+        self.vivified_clauses += other.vivified_clauses;
+        self.strengthened_clauses += other.strengthened_clauses;
         self.learnt_clauses += other.learnt_clauses;
         self.removed_clauses += other.removed_clauses;
         self.original_clauses += other.original_clauses;
@@ -59,12 +75,17 @@ impl fmt::Display for SolverStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "solves={} conflicts={} decisions={} propagations={} restarts={} learnt={} removed={} original={} released={} recycled={} gcs={}",
+            "solves={} conflicts={} decisions={} propagations={} restarts={} blocked={} rephases={} chrono={} vivified={} strengthened={} learnt={} removed={} original={} released={} recycled={} gcs={}",
             self.solves,
             self.conflicts,
             self.decisions,
             self.propagations,
             self.restarts,
+            self.blocked_restarts,
+            self.rephases,
+            self.chrono_backtracks,
+            self.vivified_clauses,
+            self.strengthened_clauses,
             self.learnt_clauses,
             self.removed_clauses,
             self.original_clauses,
@@ -87,6 +108,11 @@ mod tests {
             decisions: 3,
             propagations: 4,
             restarts: 5,
+            blocked_restarts: 12,
+            rephases: 13,
+            chrono_backtracks: 14,
+            vivified_clauses: 15,
+            strengthened_clauses: 16,
             learnt_clauses: 6,
             removed_clauses: 7,
             original_clauses: 8,
@@ -102,6 +128,11 @@ mod tests {
         assert_eq!(a.released_vars, 18);
         assert_eq!(a.recycled_vars, 20);
         assert_eq!(a.garbage_collections, 22);
+        assert_eq!(a.blocked_restarts, 24);
+        assert_eq!(a.rephases, 26);
+        assert_eq!(a.chrono_backtracks, 28);
+        assert_eq!(a.vivified_clauses, 30);
+        assert_eq!(a.strengthened_clauses, 32);
     }
 
     #[test]

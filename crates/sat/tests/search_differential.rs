@@ -1,0 +1,279 @@
+//! Differential fuzzing of the modern search engine: every [`SearchConfig`]
+//! variant — EMA vs Luby restarts, chronological backtracking on/off,
+//! inprocessing (vivification + on-the-fly subsumption) on/off — is run
+//! against the exhaustive reference solver on random CNFs, with assumption
+//! sets and unsat-core self-unsatisfiability checks.
+//!
+//! The variants use deliberately aggressive knobs (tiny restart intervals,
+//! a rephase every few conflicts, a chronological-backtracking bound of one
+//! level) so that restart, rephase, chrono, and inprocessing paths all fire
+//! even on the small formulas the brute-force oracle can handle; the stats
+//! counters are asserted at the end to prove the paths were actually taken.
+//!
+//! The iteration count is `1000 * PLIC3_FUZZ_SCALE` (the nightly CI profile
+//! sets the scale to 10); every failure message carries the seed.
+
+use plic3_logic::{Clause, Cnf, Lit, SplitMix64 as Rng, Var};
+use plic3_sat::{
+    brute_force_sat, RestartPolicy, SatResult, SearchConfig, Solver, SolverConfig, SolverStats,
+};
+use std::collections::BTreeMap;
+
+mod common;
+use common::{iterations, labelled_variants as variants};
+
+const MAX_VAR: u32 = 10;
+
+fn arb_lit(rng: &mut Rng) -> Lit {
+    Lit::new(Var::new(rng.below(MAX_VAR as u64) as u32), rng.bool())
+}
+
+fn arb_clause(rng: &mut Rng) -> Clause {
+    let len = 1 + rng.below(4) as usize;
+    Clause::from_lits((0..len).map(|_| arb_lit(rng)))
+}
+
+fn arb_cnf(rng: &mut Rng) -> Cnf {
+    let len = rng.below(30) as usize;
+    Cnf::from_clauses((0..len).map(|_| arb_clause(rng)))
+}
+
+/// A random 3-CNF near the satisfiability phase transition (clause/variable
+/// ratio ≈ 4.3): small enough for the brute-force oracle, hard enough that
+/// the solver produces real conflict streaks — which is what drives the
+/// restart, rephase, chronological-backtracking, and inprocessing paths.
+fn hard_cnf(rng: &mut Rng) -> Cnf {
+    let len = 38 + rng.below(10) as usize;
+    Cnf::from_clauses((0..len).map(|_| {
+        let mut vars = [0u32; 3];
+        for i in 0..3 {
+            loop {
+                let candidate = rng.below(MAX_VAR as u64) as u32;
+                if !vars[..i].contains(&candidate) {
+                    vars[i] = candidate;
+                    break;
+                }
+            }
+        }
+        Clause::from_lits(vars.iter().map(|&v| Lit::new(Var::new(v), rng.bool())))
+    }))
+}
+
+/// Up to 3 assumption literals over distinct variables.
+fn arb_assumptions(rng: &mut Rng) -> Vec<Lit> {
+    let len = rng.below(4) as usize;
+    let mut polarities: BTreeMap<u32, bool> = BTreeMap::new();
+    for _ in 0..len {
+        polarities.insert(rng.below(MAX_VAR as u64) as u32, rng.bool());
+    }
+    polarities
+        .into_iter()
+        .map(|(v, p)| Lit::new(Var::new(v), p))
+        .collect()
+}
+
+fn load(cnf: &Cnf, search: SearchConfig) -> Solver {
+    let mut solver = Solver::with_config(SolverConfig {
+        search,
+        ..SolverConfig::default()
+    });
+    solver.ensure_vars(MAX_VAR as usize);
+    for clause in cnf {
+        solver.add_clause_ref(clause);
+    }
+    solver
+}
+
+/// Solves `cnf` under `assumptions` with the given search variant and
+/// cross-checks the result (verdict, model, core) against brute force.
+fn check_one(
+    name: &str,
+    search: SearchConfig,
+    cnf: &Cnf,
+    assumptions: &[Lit],
+    seed: u64,
+) -> SolverStats {
+    let mut solver = load(cnf, search);
+    let expected = brute_force_sat(MAX_VAR as usize, cnf, assumptions).is_some();
+    let got = solver.solve(assumptions);
+    assert_eq!(
+        got,
+        if expected {
+            SatResult::Sat
+        } else {
+            SatResult::Unsat
+        },
+        "[{name}] seed {seed}: {cnf} under {assumptions:?}"
+    );
+    if got == SatResult::Sat {
+        for &a in assumptions {
+            assert_eq!(
+                solver.model_value_lit(a),
+                Some(true),
+                "[{name}] seed {seed}: assumption {a} not honoured"
+            );
+        }
+        for clause in cnf {
+            assert!(
+                clause
+                    .iter()
+                    .any(|l| solver.model_value_lit(l) == Some(true)),
+                "[{name}] seed {seed}: model does not satisfy {clause}"
+            );
+        }
+    } else {
+        let core: Vec<Lit> = solver.unsat_core().to_vec();
+        for l in &core {
+            assert!(
+                assumptions.contains(l),
+                "[{name}] seed {seed}: core literal {l} not assumed"
+            );
+            assert!(solver.core_contains(*l), "[{name}] seed {seed}");
+        }
+        assert!(
+            brute_force_sat(MAX_VAR as usize, cnf, &core).is_none(),
+            "[{name}] seed {seed}: core {core:?} is not sufficient for unsat"
+        );
+        // The core must reproduce UNSAT when re-solved by the same
+        // (incremental, possibly inprocessed) solver.
+        assert_eq!(
+            solver.solve(&core),
+            SatResult::Unsat,
+            "[{name}] seed {seed}: core {core:?} not self-unsatisfiable"
+        );
+    }
+    *solver.stats()
+}
+
+/// The load-bearing differential fuzz: ≥ 1000 iterations, every variant on
+/// every case, with assumption sets and unsat-core checks.
+#[test]
+fn all_search_variants_agree_with_brute_force() {
+    let variants = variants();
+    let mut totals: Vec<SolverStats> = vec![SolverStats::new(); variants.len()];
+    let mut rng = Rng::new(0x5ea_c4d1);
+    for seed in 0..iterations(1000) {
+        // Alternate between unconstrained random CNFs (edge cases: empty
+        // clauses-after-simplification, tautologies, units) and dense 3-CNFs
+        // (real conflict streaks that drive the search machinery).
+        let cnf = if seed % 2 == 0 {
+            arb_cnf(&mut rng)
+        } else {
+            hard_cnf(&mut rng)
+        };
+        let assumptions = arb_assumptions(&mut rng);
+        for (i, (name, search)) in variants.iter().enumerate() {
+            let stats = check_one(name, *search, &cnf, &assumptions, seed);
+            totals[i].merge(&stats);
+        }
+    }
+    // Sanity on the aggregates: the suite must have produced real conflicts
+    // (otherwise it tests nothing but propagation), and the Luby variants —
+    // whose restart schedule does not depend on conflict quality — must have
+    // restarted. The per-variant machinery assertions (EMA restarts, rephase,
+    // chrono, inprocessing) live in `pigeonhole_is_unsat_under_every_variant`,
+    // which guarantees the long conflict streaks those paths need.
+    for ((name, search), stats) in variants.iter().zip(&totals) {
+        assert!(
+            stats.conflicts > 100,
+            "[{name}] suite produced almost no conflicts: {stats}"
+        );
+        if search.restart == RestartPolicy::Luby && search.restart_base <= 2 {
+            assert!(stats.restarts > 0, "[{name}] never restarted: {stats}");
+        }
+    }
+}
+
+/// Incremental use across variants: clauses are added between solve calls, so
+/// learnt clauses, saved phases, best-phase snapshots, and pending
+/// inprocessing work survive into later calls and must stay sound.
+#[test]
+fn incremental_solving_stays_sound_across_variants() {
+    let variants = variants();
+    let mut rng = Rng::new(0x14c4);
+    for seed in 0..iterations(150) {
+        let cnf1 = arb_cnf(&mut rng);
+        let cnf2 = arb_cnf(&mut rng);
+        let assumptions = arb_assumptions(&mut rng);
+        for (name, search) in &variants {
+            let mut solver = load(&cnf1, *search);
+            let first_expected = brute_force_sat(MAX_VAR as usize, &cnf1, &[]).is_some();
+            let first = solver.solve(&[]);
+            assert_eq!(
+                first == SatResult::Sat,
+                first_expected,
+                "[{name}] seed {seed}: first solve"
+            );
+            for clause in &cnf2 {
+                solver.add_clause_ref(clause);
+            }
+            let combined: Cnf = cnf1.iter().chain(cnf2.iter()).cloned().collect();
+            let expected = brute_force_sat(MAX_VAR as usize, &combined, &assumptions).is_some();
+            let got = solver.solve(&assumptions);
+            assert_eq!(
+                got == SatResult::Sat,
+                expected,
+                "[{name}] seed {seed}: incremental solve"
+            );
+            // A third call with the same assumptions must agree with the
+            // second (rephasing and inprocessing may not flip verdicts).
+            assert_eq!(got, solver.solve(&assumptions), "[{name}] seed {seed}");
+        }
+    }
+}
+
+/// A conflict-heavy unsatisfiable workload (pigeonhole) across all variants:
+/// deep enough that database reduction, garbage collection, vivification and
+/// restarts all occur with real learnt clauses in flight.
+#[test]
+fn pigeonhole_is_unsat_under_every_variant() {
+    for (name, search) in &variants() {
+        let mut solver = Solver::with_config(SolverConfig {
+            search: *search,
+            ..SolverConfig::default()
+        });
+        let n = 6u32; // pigeons
+        let m = 5u32; // holes
+        let var = |i: u32, j: u32| Lit::pos(Var::new(i * m + j));
+        solver.ensure_vars((n * m) as usize);
+        for i in 0..n {
+            solver.add_clause((0..m).map(|j| var(i, j)));
+        }
+        for j in 0..m {
+            for i1 in 0..n {
+                for i2 in (i1 + 1)..n {
+                    solver.add_clause([!var(i1, j), !var(i2, j)]);
+                }
+            }
+        }
+        assert_eq!(solver.solve(&[]), SatResult::Unsat, "[{name}]");
+        // Re-solving after the proof must stay Unsat (the clause database is
+        // unsat at the top level now).
+        assert_eq!(solver.solve(&[]), SatResult::Unsat, "[{name}]");
+        // This workload produces long conflict streaks, so on the aggressive
+        // variants every configured piece of search machinery must actually
+        // have fired — a knob that never triggers is not being differentially
+        // tested. (The production `default`/`classic` knobs are tuned for
+        // much longer runs and are exempt.)
+        if *name == "default" || *name == "classic" {
+            continue;
+        }
+        let stats = solver.stats();
+        assert!(stats.restarts > 0, "[{name}] never restarted: {stats}");
+        if search.rephase_interval > 0 && search.rephase_interval <= 64 {
+            assert!(stats.rephases > 0, "[{name}] never rephased: {stats}");
+        }
+        if search.chrono == 1 {
+            assert!(
+                stats.chrono_backtracks > 0,
+                "[{name}] never backtracked chronologically: {stats}"
+            );
+        }
+        if search.vivify {
+            assert!(
+                stats.vivified_clauses + stats.strengthened_clauses > 0,
+                "[{name}] inprocessing never fired: {stats}"
+            );
+        }
+    }
+}

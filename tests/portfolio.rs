@@ -257,3 +257,98 @@ fn portfolio_handles_trivial_and_degenerate_circuits() {
     let outcome = portfolio.check();
     assert!(outcome.result.is_safe(), "got {:?}", outcome.result);
 }
+
+/// The determinism contract (docs/PORTFOLIO.md) with workers diversified on
+/// *search* parameters: verdicts are pinned to the ground truth on the quick
+/// suite across repeated runs — winners are a race and deliberately never
+/// asserted. Every winning proof is re-verified independently.
+#[test]
+fn search_diversified_portfolio_pins_verdicts_on_quick_suite() {
+    use plic3_repro::ic3::{RestartPolicy, SearchConfig};
+    use plic3_repro::portfolio::{Strategy, WorkerSpec};
+
+    fn diversified_workers() -> Vec<WorkerSpec> {
+        let modern = SearchConfig::default();
+        let luby = SearchConfig {
+            restart: RestartPolicy::Luby,
+            ..SearchConfig::default()
+        };
+        let no_chrono = SearchConfig {
+            chrono: 0,
+            rephase_interval: 1024,
+            ..SearchConfig::default()
+        };
+        let classic = SearchConfig::classic();
+        vec![
+            WorkerSpec::new("bmc-modern", Strategy::Bmc { search: modern }),
+            WorkerSpec::new("kind-luby", Strategy::KInduction { search: luby }),
+            WorkerSpec::new(
+                "ic3-modern",
+                Strategy::Ic3(Config::ric3_like().with_lemma_prediction(true)),
+            ),
+            WorkerSpec::new(
+                "ic3-luby",
+                Strategy::Ic3(Config::ric3_like().with_search(luby)),
+            ),
+            WorkerSpec::new(
+                "ic3-no-chrono",
+                Strategy::Ic3(
+                    Config::ic3ref_like()
+                        .with_lemma_prediction(true)
+                        .with_search(no_chrono),
+                ),
+            ),
+            WorkerSpec::new(
+                "ic3-classic",
+                Strategy::Ic3(Config::ric3_like().with_search(classic)),
+            ),
+        ]
+    }
+
+    for bench in &Suite::quick() {
+        let expect_safe = matches!(bench.expected(), ExpectedResult::Safe);
+        for round in 0..2 {
+            let config = PortfolioConfig {
+                limits: plic3_repro::ic3::Limits {
+                    max_time: Some(Duration::from_secs(60)),
+                    ..plic3_repro::ic3::Limits::default()
+                },
+                ..PortfolioConfig::default()
+            };
+            let mut portfolio =
+                Portfolio::from_aig(bench.aig(), config).with_workers(diversified_workers());
+            let outcome = portfolio.check();
+            match &outcome.result {
+                PortfolioResult::Safe(proof) => {
+                    assert!(
+                        expect_safe,
+                        "{} round {round}: bogus Safe (winner {:?})",
+                        bench.name(),
+                        outcome.winner_label()
+                    );
+                    verify_safety_proof(portfolio.ts(), proof).unwrap_or_else(|e| {
+                        panic!("{} round {round}: unverifiable proof: {e}", bench.name())
+                    });
+                }
+                PortfolioResult::Unsafe(trace) => {
+                    assert!(
+                        !expect_safe,
+                        "{} round {round}: bogus Unsafe (winner {:?})",
+                        bench.name(),
+                        outcome.winner_label()
+                    );
+                    let ts = TransitionSystem::from_aig(bench.aig());
+                    assert!(
+                        trace.replay_on_aig(&ts, bench.aig()),
+                        "{} round {round}: non-replayable trace",
+                        bench.name()
+                    );
+                }
+                PortfolioResult::Unknown(reason) => panic!(
+                    "{} round {round}: no verdict on a quick-suite instance ({reason})",
+                    bench.name()
+                ),
+            }
+        }
+    }
+}
