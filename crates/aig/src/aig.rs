@@ -87,6 +87,17 @@ impl Aig {
         (self.num_inputs + self.latches.len() + self.ands.len()) as u32
     }
 
+    /// Estimated heap footprint of the graph in bytes, for memory-budget
+    /// accounting (e.g. against a `ResourceBudget` held by a caller). An
+    /// estimate is enough: budgets are advisory, not allocator hooks.
+    pub fn estimated_bytes(&self) -> u64 {
+        (self.latches.len() * std::mem::size_of::<Latch>()
+            + self.ands.len() * std::mem::size_of::<AndGate>()
+            + (self.outputs.len() + self.bad.len() + self.constraints.len())
+                * std::mem::size_of::<AigLit>()
+            + self.comments.iter().map(String::len).sum::<usize>()) as u64
+    }
+
     /// The literal of the `i`-th primary input (0-based).
     ///
     /// # Panics

@@ -240,6 +240,23 @@ impl AigBuilder {
         self.comments.push(comment.into());
     }
 
+    /// Estimated heap footprint of the builder in bytes, for memory-budget
+    /// accounting by callers that grow circuits under a `ResourceBudget`
+    /// (the builder itself stays dependency-free). Covers the node tables
+    /// and the structural-hashing map; an estimate is enough.
+    pub fn estimated_bytes(&self) -> u64 {
+        let per_node = std::mem::size_of::<NodeKind>() + std::mem::size_of::<(AigLit, AigLit)>();
+        // HashMap entries cost roughly key + value + control byte, times the
+        // load-factor slack; 2x is a serviceable upper bound.
+        let strash = self.strash.len() * 2 * (std::mem::size_of::<(u32, u32)>() + 8);
+        let latches = (self.latch_init.len() + self.latch_next.len()) * 2 * 16;
+        (self.kinds.len() * per_node
+            + strash
+            + latches
+            + (self.outputs.len() + self.bad.len() + self.constraints.len())
+                * std::mem::size_of::<AigLit>()) as u64
+    }
+
     /// Number of nodes created so far (excluding the constant).
     pub fn num_nodes(&self) -> usize {
         self.kinds.len() - 1

@@ -1,7 +1,7 @@
 //! Incremental bounded model checking.
 
 use plic3_logic::Cube;
-use plic3_sat::{SatResult, SearchConfig, Solver, StopFlag};
+use plic3_sat::{FaultPlan, ResourceBudget, SatResult, SearchConfig, Solver, StopFlag};
 use plic3_ts::{Trace, TransitionSystem, Unroller};
 use std::fmt;
 
@@ -104,6 +104,19 @@ impl<'a> Bmc<'a> {
     /// every future [`Bmc::check`] call return [`BmcResult::Unknown`] promptly.
     pub fn set_stop_flag(&mut self, stop: StopFlag) {
         self.solver.set_stop_flag(stop);
+    }
+
+    /// Installs a shared memory budget: the unrolling solver charges its
+    /// clause storage against it and aborts to an unknown verdict once it is
+    /// exhausted, instead of growing without bound.
+    pub fn set_budget(&mut self, budget: ResourceBudget) {
+        self.solver.set_budget(budget);
+    }
+
+    /// Installs a fault-injection plan (inert unless the `fault-injection`
+    /// feature is enabled).
+    pub fn set_fault_plan(&mut self, faults: FaultPlan) {
+        self.solver.set_fault_plan(faults);
     }
 
     /// Replaces the SAT search configuration of the backing solver (portfolio

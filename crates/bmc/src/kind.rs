@@ -2,7 +2,7 @@
 
 use crate::Bmc;
 use plic3_logic::Lit;
-use plic3_sat::{SatResult, Solver, StopFlag};
+use plic3_sat::{FaultPlan, ResourceBudget, SatResult, Solver, StopFlag};
 use plic3_ts::{Trace, TransitionSystem, Unroller};
 use std::fmt;
 
@@ -110,6 +110,21 @@ impl<'a> KInduction<'a> {
     pub fn set_stop_flag(&mut self, stop: StopFlag) {
         self.bmc.set_stop_flag(stop.clone());
         self.step_solver.set_stop_flag(stop);
+    }
+
+    /// Installs a shared memory budget on both backing solvers (base-case
+    /// unroller and step solver); once exhausted, `check` degrades to
+    /// [`KInductionResult::Unknown`] instead of growing without bound.
+    pub fn set_budget(&mut self, budget: ResourceBudget) {
+        self.bmc.set_budget(budget.clone());
+        self.step_solver.set_budget(budget);
+    }
+
+    /// Installs a fault-injection plan on both backing solvers (inert unless
+    /// the `fault-injection` feature is enabled).
+    pub fn set_fault_plan(&mut self, faults: FaultPlan) {
+        self.bmc.set_fault_plan(faults.clone());
+        self.step_solver.set_fault_plan(faults);
     }
 
     /// Replaces the SAT search configuration of both the base-case and the

@@ -1,6 +1,6 @@
 //! Configuration of the IC3 engine.
 
-use plic3_sat::{SearchConfig, StopFlag};
+use plic3_sat::{FaultPlan, ResourceBudget, SearchConfig, StopFlag};
 use std::time::Duration;
 
 /// How blocked cubes are generalized into lemmas.
@@ -98,6 +98,17 @@ pub struct Config {
     /// thread) makes [`crate::Ic3::check`] return
     /// [`crate::CheckResult::Unknown`] promptly.
     pub stop: StopFlag,
+    /// Shared memory budget, plumbed like [`Config::stop`]: the frame
+    /// solvers charge it for clause storage and the engine charges it for the
+    /// frame lemma store. Exhausting it makes [`crate::Ic3::check`] return
+    /// [`crate::CheckResult::Unknown`] with
+    /// [`crate::UnknownReason::MemoryOut`] instead of growing until the
+    /// allocator aborts. Unlimited by default.
+    pub budget: ResourceBudget,
+    /// Deterministic fault-injection plan for chaos testing; inert unless the
+    /// `fault-injection` cargo feature is enabled (see
+    /// [`plic3_sat::FaultPlan`]).
+    pub faults: FaultPlan,
 }
 
 impl Default for Config {
@@ -124,6 +135,8 @@ impl Config {
             search: SearchConfig::default(),
             limits: Limits::default(),
             stop: StopFlag::new(),
+            budget: ResourceBudget::unlimited(),
+            faults: FaultPlan::inert(),
         }
     }
 
@@ -206,6 +219,28 @@ impl Config {
     /// interrupts the engine owning this configuration.
     pub fn with_stop_flag(mut self, stop: StopFlag) -> Self {
         self.stop = stop;
+        self
+    }
+
+    /// Returns a copy wired to the given shared memory budget.
+    ///
+    /// The budget handle is shared like the stop flag: a portfolio runner can
+    /// keep a clone for reporting while the engine charges and polls it.
+    pub fn with_budget(mut self, budget: ResourceBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Returns a copy with a fresh memory budget of `bytes` bytes
+    /// (convenience over [`Config::with_budget`]).
+    pub fn with_max_memory(self, bytes: u64) -> Self {
+        self.with_budget(ResourceBudget::with_limit(bytes))
+    }
+
+    /// Returns a copy wired to the given fault-injection plan (inert unless
+    /// the `fault-injection` feature is on).
+    pub fn with_fault_plan(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
         self
     }
 }

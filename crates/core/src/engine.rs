@@ -4,7 +4,7 @@ use crate::frames::Frames;
 use crate::{Certificate, CheckResult, Config, Statistics, UnknownReason};
 use plic3_aig::Aig;
 use plic3_logic::{Cube, Lit};
-use plic3_sat::{SatResult, Solver, SolverConfig};
+use plic3_sat::{FaultKind, FaultSite, SatResult, Solver, SolverConfig, INJECTED_PANIC};
 use plic3_ts::{Trace, TransitionSystem};
 use std::collections::HashMap;
 use std::time::Instant;
@@ -104,10 +104,11 @@ pub type LemmaSource = Box<dyn FnMut(&mut Vec<(Cube, usize)>) + Send>;
 impl Ic3 {
     /// Creates an engine for `ts` with the given configuration.
     pub fn new(ts: TransitionSystem, config: Config) -> Self {
+        let frames = Frames::with_budget(config.budget.clone());
         let mut engine = Ic3 {
             ts,
             config,
-            frames: Frames::new(),
+            frames,
             solvers: Vec::new(),
             lift_solver: Solver::new(),
             stats: Statistics::new(),
@@ -254,6 +255,9 @@ impl Ic3 {
         }
         self.importing = true;
         for (cube, level) in buffer.drain(..) {
+            // Chaos-test hook: a fault here simulates a poisoned candidate
+            // crashing (or stalling) the importer mid-drain.
+            self.poll_fault(FaultSite::LemmaImport);
             let level = level.min(self.frames.top_level());
             if level == 0 || cube.is_empty() {
                 self.stats.lemmas_import_rejected += 1;
@@ -302,6 +306,8 @@ impl Ic3 {
     fn make_lift_solver(&self) -> Solver {
         let mut solver = Solver::with_config(self.solver_config());
         solver.set_stop_flag(self.config.stop.clone());
+        solver.set_budget(self.config.budget.clone());
+        solver.set_fault_plan(self.config.faults.clone());
         solver.ensure_vars(self.ts.num_vars());
         for clause in self.ts.trans() {
             solver.add_clause_ref(clause);
@@ -312,6 +318,8 @@ impl Ic3 {
     fn make_frame_solver(&self, level: usize) -> Solver {
         let mut solver = Solver::with_config(self.solver_config());
         solver.set_stop_flag(self.config.stop.clone());
+        solver.set_budget(self.config.budget.clone());
+        solver.set_fault_plan(self.config.faults.clone());
         solver.ensure_vars(self.ts.num_vars());
         for clause in self.ts.trans() {
             solver.add_clause_ref(clause);
@@ -507,6 +515,9 @@ impl Ic3 {
         if self.config.stop.is_stopped() {
             return Some(UnknownReason::Cancelled);
         }
+        if self.config.budget.is_exhausted() {
+            return Some(UnknownReason::MemoryOut);
+        }
         if let Some(max) = self.config.limits.max_time {
             if self.start.elapsed() >= max {
                 return Some(UnknownReason::Timeout);
@@ -578,6 +589,18 @@ impl Ic3 {
     /// limit fired, or a cancellation when the stop flag was raised directly.
     fn interruption_reason(&self) -> UnknownReason {
         self.check_limits().unwrap_or(UnknownReason::Cancelled)
+    }
+
+    /// Executes the scheduled injected fault for `site`, if one is due.
+    /// Compiles to nothing unless the `fault-injection` feature is on.
+    #[inline]
+    fn poll_fault(&self, site: FaultSite) {
+        match self.config.faults.poll(site) {
+            None => {}
+            Some(FaultKind::Panic) => panic!("{INJECTED_PANIC} at {site:?}"),
+            Some(FaultKind::MemOut) => self.config.budget.exhaust(),
+            Some(FaultKind::Cancel) => self.config.stop.stop(),
+        }
     }
 
     /// Pushes the generalized lemma forward as far as it stays relatively
@@ -670,6 +693,8 @@ impl Ic3 {
         self.stats.runtime = self.start.elapsed();
         self.stats.max_level = self.frames.top_level();
         self.stats.sat_conflicts = self.current_conflicts();
+        self.stats.memory_used = self.config.budget.used();
+        self.stats.memory_limit = self.config.budget.limit();
         result
     }
 

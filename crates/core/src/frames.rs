@@ -1,6 +1,14 @@
 //! The frame sequence `F_1, …, F_k` in delta encoding.
 
 use plic3_logic::Cube;
+use plic3_sat::ResourceBudget;
+
+/// Estimated heap footprint of a stored lemma cube: its literal payload plus
+/// the `Vec` bookkeeping. Used for [`ResourceBudget`] accounting — an estimate
+/// is enough, the budget is advisory.
+fn cube_bytes(cube: &Cube) -> u64 {
+    (cube.len() * std::mem::size_of::<plic3_logic::Lit>() + 24) as u64
+}
 
 /// The IC3 frame sequence, stored in *delta encoding*: each blocked cube is
 /// kept once, at the highest level its lemma currently holds at. The clause set
@@ -15,6 +23,8 @@ pub struct Frames {
     /// `delta[i]` holds the cubes whose lemma's highest level is exactly `i`.
     /// Index 0 exists for convenience but is never used (`F_0 = I`).
     delta: Vec<Vec<Cube>>,
+    /// Memory budget charged for every stored lemma (unlimited by default).
+    budget: ResourceBudget,
 }
 
 impl Frames {
@@ -22,6 +32,15 @@ impl Frames {
     pub fn new() -> Self {
         Frames {
             delta: vec![Vec::new(), Vec::new()],
+            budget: ResourceBudget::unlimited(),
+        }
+    }
+
+    /// Creates the initial frame sequence charging lemma storage to `budget`.
+    pub fn with_budget(budget: ResourceBudget) -> Self {
+        Frames {
+            budget,
+            ..Frames::new()
         }
     }
 
@@ -75,8 +94,16 @@ impl Frames {
             return false;
         }
         for l in 1..=level {
-            self.delta[l].retain(|existing| !cube.subsumes(existing));
+            let budget = &self.budget;
+            self.delta[l].retain(|existing| {
+                let keep = !cube.subsumes(existing);
+                if !keep {
+                    budget.uncharge(cube_bytes(existing));
+                }
+                keep
+            });
         }
+        self.budget.charge(cube_bytes(&cube));
         self.delta[level].push(cube);
         true
     }
@@ -91,6 +118,8 @@ impl Frames {
             // stronger one.
             if !self.subsumed(&cube, level + 1) {
                 self.delta[level + 1].push(cube);
+            } else {
+                self.budget.uncharge(cube_bytes(&cube));
             }
             true
         } else {

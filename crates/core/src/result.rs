@@ -50,6 +50,10 @@ pub enum UnknownReason {
     /// [`StopFlag`](plic3_sat::StopFlag) (e.g. by a portfolio runner's
     /// watchdog).
     Cancelled,
+    /// The memory budget ([`ResourceBudget`](plic3_sat::ResourceBudget)) was
+    /// exhausted: the run was abandoned gracefully instead of letting the
+    /// allocator abort the process.
+    MemoryOut,
 }
 
 impl fmt::Display for UnknownReason {
@@ -59,6 +63,7 @@ impl fmt::Display for UnknownReason {
             UnknownReason::ConflictLimit => write!(f, "conflict limit"),
             UnknownReason::FrameLimit => write!(f, "frame limit"),
             UnknownReason::Cancelled => write!(f, "cancelled"),
+            UnknownReason::MemoryOut => write!(f, "memory out"),
         }
     }
 }

@@ -64,6 +64,13 @@ pub struct Statistics {
     pub runtime: Duration,
     /// Wall-clock time spent inside generalization (including prediction).
     pub generalize_time: Duration,
+    /// Bytes charged against the run's [`plic3_sat::ResourceBudget`] when the
+    /// run ended (clause arenas, learnt DBs, the frame lemma store). For a
+    /// run that ended in `Unknown(MemoryOut)` this is the figure that tripped
+    /// the budget.
+    pub memory_used: u64,
+    /// The budget's byte limit, if one was configured (`None` = unlimited).
+    pub memory_limit: Option<u64>,
 }
 
 impl Statistics {

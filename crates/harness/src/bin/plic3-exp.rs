@@ -22,7 +22,12 @@
 //!                     variants *inside* each case, splitting the --jobs
 //!                     budget between concurrent cases and in-case workers
 //!   --no-preprocess   skip the AIG preprocessing pipeline (default: on)
+//!   --memory <MiB>    per-case memory budget; exceeding it ends the case as
+//!                     `memout`, never as an allocator abort (default: none)
 //!   --csv <dir>       also write CSV files into <dir>
+//!
+//! Exit codes: 0 success, 1 wrong verdicts or unverified proofs, 2 usage
+//! error, 3 contained crashes (cases that panicked but were isolated).
 //! ```
 
 use plic3_benchmarks::Suite;
@@ -40,6 +45,7 @@ struct Options {
     jobs: usize,
     portfolio: bool,
     preprocess: bool,
+    max_memory: Option<u64>,
     csv_dir: Option<PathBuf>,
 }
 
@@ -51,6 +57,7 @@ fn parse_args() -> Result<Options, String> {
         jobs: 0,
         portfolio: false,
         preprocess: true,
+        max_memory: None,
         csv_dir: None,
     };
     let mut args = std::env::args().skip(1).peekable();
@@ -87,6 +94,14 @@ fn parse_args() -> Result<Options, String> {
                 };
             }
             "--no-preprocess" => options.preprocess = false,
+            "--memory" => {
+                let value = args.next().ok_or("--memory needs a value (MiB)")?;
+                let mib: u64 = value.parse().map_err(|_| "invalid --memory value")?;
+                if mib == 0 {
+                    return Err("--memory must be positive".to_string());
+                }
+                options.max_memory = Some(mib * 1024 * 1024);
+            }
             "--csv" => {
                 let value = args.next().ok_or("--csv needs a directory")?;
                 options.csv_dir = Some(PathBuf::from(value));
@@ -178,6 +193,7 @@ fn main() {
         timeout: options.timeout,
         workers: options.jobs,
         preprocess: options.preprocess,
+        max_memory: options.max_memory,
         ..RunnerConfig::default()
     };
     if options.preprocess {
@@ -202,13 +218,24 @@ fn main() {
                 data.unverified()
             );
         }
+        let (worker_crashes, _) = data.worker_crash_totals();
+        if data.crashed() > 0 || worker_crashes > 0 {
+            eprintln!(
+                "WARNING: {} crashed cases, {} contained worker crashes",
+                data.crashed(),
+                worker_crashes
+            );
+        }
         println!("{}", portfolio_run::render(&data));
         write_csv(
             &options.csv_dir,
             "portfolio.csv",
             &portfolio_run::to_csv(&data),
         );
-        return;
+        std::process::exit(exit_code(
+            data.wrong_verdicts() + data.unverified(),
+            data.crashed() + worker_crashes,
+        ));
     }
 
     if options.command == "ablation" {
@@ -240,6 +267,14 @@ fn main() {
             data.wrong_verdicts()
         );
     }
+    // Failure taxonomy of the suite: budget trips degrade to `memout`,
+    // contained panics to `crashed` — neither is ever a wrong verdict.
+    eprintln!(
+        "failures: {} memout, {} crashed across {} cases",
+        data.memouts(),
+        data.crashed(),
+        data.results.len()
+    );
 
     let want = |name: &str| options.command == "all" || options.command == name;
     if want("table1") {
@@ -266,5 +301,19 @@ fn main() {
         let fig = fig4::build(&data, runner.fast_case_threshold);
         println!("{}", fig4::render(&fig));
         write_csv(&options.csv_dir, "fig4.csv", &fig4::to_csv(&fig));
+    }
+    std::process::exit(exit_code(data.wrong_verdicts(), data.crashed()));
+}
+
+/// Exit code of a finished run: `1` for wrong verdicts or unverified proofs
+/// (the gravest failure), `3` for contained crashes, `0` otherwise. Usage
+/// errors exit `2` before any case runs.
+fn exit_code(wrong: usize, crashed: usize) -> i32 {
+    if wrong > 0 {
+        1
+    } else if crashed > 0 {
+        3
+    } else {
+        0
     }
 }

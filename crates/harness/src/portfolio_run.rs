@@ -8,16 +8,17 @@
 //! conclusive verdict wins. The two layers nest through a thread-budget
 //! split — see [`ThreadBudget`].
 
-use crate::runner::{RunnerConfig, Verdict, Watchdog};
-use plic3::StopFlag;
+use crate::runner::{panic_message, RunnerConfig, Verdict, Watchdog};
+use plic3::{ResourceBudget, StopFlag, UnknownReason};
 use plic3_benchmarks::{Benchmark, ExpectedResult, Suite};
 use plic3_portfolio::{
     default_workers, verify_safety_proof, ExchangeStats, Portfolio, PortfolioConfig,
     PortfolioResult, WorkerReport,
 };
-use plic3_prep::preprocess;
+use plic3_prep::Preprocessor;
 use plic3_ts::TransitionSystem;
 use std::fmt::Write as _;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::thread;
@@ -82,6 +83,16 @@ pub struct PortfolioCaseResult {
     pub lemmas_imported: u64,
     /// Foreign lemmas rejected by the re-checks.
     pub lemmas_rejected: u64,
+    /// Worker slots that panicked at least once during the race (each crash
+    /// was contained by the portfolio supervisor).
+    pub worker_crashes: usize,
+    /// Worker slots the supervisor restarted under the conservative fallback
+    /// configuration after a first panic.
+    pub worker_restarts: usize,
+    /// Stringified panic payload when the whole case crashed *outside* the
+    /// portfolio's own containment (e.g. during preprocessing); `None`
+    /// otherwise.
+    pub crash: Option<String>,
 }
 
 /// All results of a portfolio experiment, in suite order.
@@ -111,6 +122,31 @@ impl PortfolioData {
             .iter()
             .filter(|r| r.verdict.solved() && !r.verified)
             .count()
+    }
+
+    /// Number of cases that ended as [`Verdict::MemOut`].
+    pub fn memouts(&self) -> usize {
+        self.results
+            .iter()
+            .filter(|r| r.verdict == Verdict::MemOut)
+            .count()
+    }
+
+    /// Number of cases that crashed outside the portfolio's containment
+    /// ([`Verdict::Crashed`]).
+    pub fn crashed(&self) -> usize {
+        self.results
+            .iter()
+            .filter(|r| r.verdict == Verdict::Crashed)
+            .count()
+    }
+
+    /// Total worker crashes contained by the portfolio supervisors, with the
+    /// number of supervised restarts, summed over all cases.
+    pub fn worker_crash_totals(&self) -> (usize, usize) {
+        self.results.iter().fold((0, 0), |(c, r), case| {
+            (c + case.worker_crashes, r + case.worker_restarts)
+        })
     }
 
     /// How often each worker won, as `(label, wins)` sorted by wins.
@@ -153,10 +189,17 @@ pub fn run_portfolio_case(
     stop: StopFlag,
 ) -> PortfolioCaseResult {
     let started = Instant::now();
+    // One fresh memory budget per case; the portfolio splits it into
+    // per-worker sub-budgets.
+    let budget = runner
+        .max_memory
+        .map_or_else(ResourceBudget::unlimited, ResourceBudget::with_limit);
     // Preprocessing runs inside the measured window, exactly as in the
-    // single-engine `run_case`; the witness map replays `Unsafe` traces on
-    // the original circuit.
-    let prep = runner.preprocess.then(|| preprocess(benchmark.aig()));
+    // single-engine `run_case`, under the same stop flag / budget / fault
+    // plan; the witness map replays `Unsafe` traces on the original circuit.
+    let prep = runner.preprocess.then(|| {
+        Preprocessor::default().run_under(benchmark.aig(), &stop, &budget, &runner.faults)
+    });
     let ts = match &prep {
         Some(p) => TransitionSystem::from_aig(&p.aig),
         None => benchmark.ts(),
@@ -165,6 +208,8 @@ pub fn run_portfolio_case(
     let mut config = PortfolioConfig {
         threads: workers_per_case,
         stop,
+        budget,
+        faults: runner.faults.clone(),
         ..PortfolioConfig::default()
     };
     config.limits.max_time = Some(runner.timeout.saturating_sub(prep_time));
@@ -184,13 +229,14 @@ pub fn run_portfolio_case(
             };
             (Verdict::Unsafe, replays)
         }
+        PortfolioResult::Unknown(UnknownReason::MemoryOut) => (Verdict::MemOut, true),
         PortfolioResult::Unknown(_) => (Verdict::Unknown, true),
     };
     let correct = matches!(
         (verdict, benchmark.expected()),
         (Verdict::Safe, ExpectedResult::Safe)
             | (Verdict::Unsafe, ExpectedResult::Unsafe { .. })
-            | (Verdict::Unknown, _)
+            | (Verdict::Unknown | Verdict::MemOut | Verdict::Crashed, _)
     );
     PortfolioCaseResult {
         benchmark: benchmark.name().to_string(),
@@ -205,7 +251,38 @@ pub fn run_portfolio_case(
         exchange: outcome.exchange,
         lemmas_imported: outcome.lemmas_imported(),
         lemmas_rejected: outcome.lemmas_rejected(),
+        worker_crashes: outcome.worker_crashes(),
+        worker_restarts: outcome.worker_restarts(),
         workers: outcome.workers,
+        crash: None,
+    }
+}
+
+/// The synthetic result of a portfolio case that panicked outside the
+/// portfolio's own containment (e.g. in preprocessing): contained here, at
+/// the case level, so the rest of the suite keeps running.
+fn crashed_portfolio_case(
+    benchmark: &Benchmark,
+    payload: String,
+    runtime: Duration,
+) -> PortfolioCaseResult {
+    PortfolioCaseResult {
+        benchmark: benchmark.name().to_string(),
+        family: benchmark.family().to_string(),
+        expected: benchmark.expected(),
+        verdict: Verdict::Crashed,
+        correct: true,
+        verified: true,
+        runtime,
+        prep_time: Duration::ZERO,
+        winner: None,
+        workers: Vec::new(),
+        exchange: ExchangeStats::default(),
+        lemmas_imported: 0,
+        lemmas_rejected: 0,
+        worker_crashes: 0,
+        worker_restarts: 0,
+        crash: Some(payload),
     }
 }
 
@@ -247,8 +324,17 @@ pub fn run_portfolio_experiment(suite: &Suite, runner: &RunnerConfig) -> Portfol
                 }
                 let stop = StopFlag::new();
                 let token = watchdog.arm(Instant::now() + runner.timeout, stop.clone());
-                let result =
-                    run_portfolio_case(benchmarks[index], runner, budget.workers_per_case, stop);
+                let case_started = Instant::now();
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    run_portfolio_case(benchmarks[index], runner, budget.workers_per_case, stop)
+                }))
+                .unwrap_or_else(|payload| {
+                    crashed_portfolio_case(
+                        benchmarks[index],
+                        panic_message(payload),
+                        case_started.elapsed(),
+                    )
+                });
                 watchdog.disarm(token);
                 if tx.send((index, result)).is_err() {
                     return;
@@ -299,6 +385,15 @@ pub fn render(data: &PortfolioData) -> String {
         data.wrong_verdicts(),
         data.unverified()
     );
+    let (worker_crashes, worker_restarts) = data.worker_crash_totals();
+    let _ = writeln!(
+        out,
+        "failures: {} memout, {} crashed cases, {} worker crashes ({} supervised restarts)",
+        data.memouts(),
+        data.crashed(),
+        worker_crashes,
+        worker_restarts
+    );
     if let Some(budget) = data.budget {
         let _ = writeln!(
             out,
@@ -326,12 +421,12 @@ pub fn render(data: &PortfolioData) -> String {
 pub fn to_csv(data: &PortfolioData) -> String {
     let mut out = String::from(
         "benchmark,family,verdict,correct,verified,runtime_s,prep_s,winner,\
-         lemmas_imported,lemmas_rejected\n",
+         lemmas_imported,lemmas_rejected,worker_crashes,worker_restarts\n",
     );
     for r in &data.results {
         let _ = writeln!(
             out,
-            "{},{},{},{},{},{:.6},{:.6},{},{},{}",
+            "{},{},{},{},{},{:.6},{:.6},{},{},{},{},{}",
             r.benchmark,
             r.family,
             r.verdict,
@@ -342,6 +437,8 @@ pub fn to_csv(data: &PortfolioData) -> String {
             r.winner.as_deref().unwrap_or(""),
             r.lemmas_imported,
             r.lemmas_rejected,
+            r.worker_crashes,
+            r.worker_restarts,
         );
     }
     out

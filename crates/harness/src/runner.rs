@@ -9,11 +9,12 @@
 //! and therefore every table and figure built from it — is independent of
 //! scheduling.
 
-use plic3::{Config, Ic3, Statistics, StopFlag};
+use plic3::{Config, FaultPlan, Ic3, ResourceBudget, Statistics, StopFlag, UnknownReason};
 use plic3_benchmarks::{Benchmark, ExpectedResult, Suite};
-use plic3_prep::preprocess;
+use plic3_prep::Preprocessor;
 use plic3_ts::TransitionSystem;
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Condvar, Mutex};
 use std::thread;
@@ -111,12 +112,18 @@ pub enum Verdict {
     Unsafe,
     /// No verdict within the per-case budget.
     Unknown,
+    /// The per-case memory budget tripped before a verdict was reached; the
+    /// engine unwound gracefully (never an allocator abort).
+    MemOut,
+    /// The case panicked; the panic was contained by the runner, the payload
+    /// is in [`CaseResult::crash`], and the rest of the suite kept running.
+    Crashed,
 }
 
 impl Verdict {
     /// Returns `true` if the case was solved (safe or unsafe).
     pub fn solved(&self) -> bool {
-        !matches!(self, Verdict::Unknown)
+        matches!(self, Verdict::Safe | Verdict::Unsafe)
     }
 }
 
@@ -126,12 +133,14 @@ impl fmt::Display for Verdict {
             Verdict::Safe => write!(f, "safe"),
             Verdict::Unsafe => write!(f, "unsafe"),
             Verdict::Unknown => write!(f, "unknown"),
+            Verdict::MemOut => write!(f, "memout"),
+            Verdict::Crashed => write!(f, "crashed"),
         }
     }
 }
 
 /// Per-case resource budgets and analysis thresholds.
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct RunnerConfig {
     /// Per-case wall-clock budget (the paper uses 1000 s; scale to the suite).
     pub timeout: Duration,
@@ -148,6 +157,15 @@ pub struct RunnerConfig {
     /// preprocessing on, `Unsafe` traces are verified by mapping them back to
     /// the **original** circuit and replaying them there.
     pub preprocess: bool,
+    /// Per-case memory budget in bytes (`None` = unlimited). Every case gets
+    /// a **fresh** [`ResourceBudget`] of this size covering preprocessing and
+    /// the engine's clause/lemma storage; a case that trips it ends as
+    /// [`Verdict::MemOut`], never as an allocator abort.
+    pub max_memory: Option<u64>,
+    /// Deterministic fault-injection schedule handed to every case. Inert by
+    /// default (and always inert without the `fault-injection` cargo
+    /// feature); the chaos tests seed it to exercise crash containment.
+    pub faults: FaultPlan,
 }
 
 impl Default for RunnerConfig {
@@ -158,6 +176,8 @@ impl Default for RunnerConfig {
             fast_case_threshold: Duration::from_millis(10),
             workers: 0,
             preprocess: true,
+            max_memory: None,
+            faults: FaultPlan::inert(),
         }
     }
 }
@@ -200,6 +220,9 @@ pub struct CaseResult {
     pub prep_time: Duration,
     /// Engine statistics (including the prediction counters).
     pub stats: Statistics,
+    /// Stringified panic payload when the case crashed (see
+    /// [`Verdict::Crashed`]); `None` for every other verdict.
+    pub crash: Option<String>,
 }
 
 impl CaseResult {
@@ -249,6 +272,23 @@ impl ExperimentData {
     pub fn wrong_verdicts(&self) -> usize {
         self.results.iter().filter(|r| !r.correct).count()
     }
+
+    /// Number of cases that ended as [`Verdict::MemOut`].
+    pub fn memouts(&self) -> usize {
+        self.results
+            .iter()
+            .filter(|r| r.verdict == Verdict::MemOut)
+            .count()
+    }
+
+    /// Number of cases that ended as [`Verdict::Crashed`] (panic contained by
+    /// the runner).
+    pub fn crashed(&self) -> usize {
+        self.results
+            .iter()
+            .filter(|r| r.verdict == Verdict::Crashed)
+            .count()
+    }
 }
 
 /// Runs a single benchmark under a single configuration with the given budgets.
@@ -272,15 +312,21 @@ fn run_case_with_stop(
     stop: StopFlag,
 ) -> CaseResult {
     let started = Instant::now();
+    // One fresh memory budget per case, shared by preprocessing and the
+    // engine, so the whole case — not each phase — stays under the limit.
+    let budget = runner
+        .max_memory
+        .map_or_else(ResourceBudget::unlimited, ResourceBudget::with_limit);
     // The preprocessing pipeline runs inside the measured window: its cost is
     // part of the case's runtime, and its `Reconstruction` is what maps
-    // counterexamples back onto the original circuit. The pipeline itself is a
-    // cheap polynomial pass with no cancellation point, so the engine's
-    // wall-clock budget is what remains of the case budget after it — the
-    // case as a whole never exceeds `runner.timeout` (the watchdog's StopFlag
-    // additionally cancels the engine the moment it starts, if preprocessing
-    // somehow ate the entire budget).
-    let prep = runner.preprocess.then(|| preprocess(benchmark.aig()));
+    // counterexamples back onto the original circuit. It runs under the same
+    // stop flag, budget and fault plan as the engine, so a watchdog firing
+    // mid-prep (or the budget tripping there) cancels the pipeline between
+    // rounds and the engine then returns `Unknown` immediately — the case as
+    // a whole never exceeds `runner.timeout`.
+    let prep = runner.preprocess.then(|| {
+        Preprocessor::default().run_under(benchmark.aig(), &stop, &budget, &runner.faults)
+    });
     let ts = match &prep {
         Some(p) => TransitionSystem::from_aig(&p.aig),
         None => benchmark.ts(),
@@ -289,7 +335,9 @@ fn run_case_with_stop(
     let mut config = configuration
         .to_config()
         .with_max_time(runner.timeout.saturating_sub(prep_time))
-        .with_stop_flag(stop);
+        .with_stop_flag(stop)
+        .with_budget(budget)
+        .with_fault_plan(runner.faults.clone());
     config.limits.max_conflicts = runner.max_conflicts;
     let mut engine = Ic3::new(ts, config);
     let outcome = engine.check();
@@ -308,13 +356,14 @@ fn run_case_with_stop(
             };
             (Verdict::Unsafe, replays)
         }
+        plic3::CheckResult::Unknown(UnknownReason::MemoryOut) => (Verdict::MemOut, true),
         plic3::CheckResult::Unknown(_) => (Verdict::Unknown, true),
     };
     let correct = matches!(
         (verdict, benchmark.expected()),
         (Verdict::Safe, ExpectedResult::Safe)
             | (Verdict::Unsafe, ExpectedResult::Unsafe { .. })
-            | (Verdict::Unknown, _)
+            | (Verdict::Unknown | Verdict::MemOut | Verdict::Crashed, _)
     );
     CaseResult {
         benchmark: benchmark.name().to_string(),
@@ -327,6 +376,43 @@ fn run_case_with_stop(
         runtime,
         prep_time,
         stats: *engine.statistics(),
+        crash: None,
+    }
+}
+
+/// The synthetic result of a case whose engine panicked: the runner contains
+/// the crash, reports it, and moves on to the next case. A crash is never a
+/// verdict, so it can never be a *wrong* verdict.
+fn crashed_case(
+    benchmark: &Benchmark,
+    configuration: Configuration,
+    payload: String,
+    runtime: Duration,
+) -> CaseResult {
+    CaseResult {
+        benchmark: benchmark.name().to_string(),
+        family: benchmark.family().to_string(),
+        expected: benchmark.expected(),
+        configuration,
+        verdict: Verdict::Crashed,
+        correct: true,
+        verified: true,
+        runtime,
+        prep_time: Duration::ZERO,
+        stats: Statistics::default(),
+        crash: Some(payload),
+    }
+}
+
+/// Renders a caught panic payload as text (the standard payloads are `&str`
+/// and `String`).
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -464,7 +550,21 @@ pub fn run_experiment_with_workers(
                 let (benchmark, configuration) = cases[index];
                 let stop = StopFlag::new();
                 let token = watchdog.arm(Instant::now() + runner.timeout, stop.clone());
-                let result = run_case_with_stop(benchmark, configuration, runner, stop);
+                let case_started = Instant::now();
+                // Fault containment: a panicking case is recorded as
+                // `Verdict::Crashed` and the rest of the suite keeps running
+                // on this worker thread.
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    run_case_with_stop(benchmark, configuration, runner, stop)
+                }))
+                .unwrap_or_else(|payload| {
+                    crashed_case(
+                        benchmark,
+                        configuration,
+                        panic_message(payload),
+                        case_started.elapsed(),
+                    )
+                });
                 watchdog.disarm(token);
                 if tx.send((index, result)).is_err() {
                     return;
@@ -482,7 +582,7 @@ pub fn run_experiment_with_workers(
             .into_iter()
             .map(|result| result.expect("every case reports exactly once"))
             .collect(),
-        runner: Some(*runner),
+        runner: Some(runner.clone()),
     }
 }
 
@@ -654,6 +754,34 @@ mod tests {
         assert!(Verdict::Safe.solved());
         assert!(Verdict::Unsafe.solved());
         assert!(!Verdict::Unknown.solved());
+        assert!(!Verdict::MemOut.solved());
+        assert!(!Verdict::Crashed.solved());
         assert_eq!(Verdict::Unknown.to_string(), "unknown");
+        assert_eq!(Verdict::MemOut.to_string(), "memout");
+        assert_eq!(Verdict::Crashed.to_string(), "crashed");
+    }
+
+    #[test]
+    fn tight_memory_budget_degrades_to_memout_never_aborts() {
+        // A budget far too small for these cases: every verdict must come
+        // back MemOut (or Unknown if something else trips first), counted
+        // correct, with the process alive and well.
+        let suite = Suite::hwmcc_like().filter(|b| b.family() == "fifo");
+        assert!(!suite.is_empty());
+        let runner = RunnerConfig {
+            max_memory: Some(16 * 1024),
+            ..tiny_runner()
+        };
+        let data = run_experiment_with_workers(&suite, &[Configuration::Ric3], &runner, 2);
+        assert_eq!(data.wrong_verdicts(), 0);
+        assert_eq!(data.crashed(), 0);
+        assert!(
+            data.memouts() > 0,
+            "a 16 KiB budget must trip on at least one fifo case: {:?}",
+            data.results
+                .iter()
+                .map(|r| (r.benchmark.as_str(), r.verdict))
+                .collect::<Vec<_>>()
+        );
     }
 }

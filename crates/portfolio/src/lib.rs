@@ -70,8 +70,9 @@ pub use worker::{
 use plic3::{Certificate, Limits, UnknownReason};
 use plic3_aig::Aig;
 use plic3_bmc::KInduction;
-use plic3_sat::StopFlag;
+use plic3_sat::{FaultPlan, ResourceBudget, StopFlag};
 use plic3_ts::{Trace, TransitionSystem};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::thread;
@@ -108,6 +109,18 @@ pub struct PortfolioConfig {
     /// thread budget is smaller than the worker count (so a never-terminating
     /// BMC run cannot starve the complete IC3 workers queued behind it).
     pub fallback_bounds: FallbackBounds,
+    /// Memory budget of the whole race; [`Portfolio::check`] splits it into
+    /// one equal, independent sub-budget per worker slot, so one strategy's
+    /// blow-up cannot eat the others' headroom. A worker whose sub-budget
+    /// trips unwinds to [`UnknownReason::MemoryOut`]; the race continues on
+    /// the remaining workers.
+    pub budget: ResourceBudget,
+    /// Deterministic fault-injection schedule handed to every worker (inert
+    /// unless the `fault-injection` feature is enabled *and* the plan is
+    /// seeded). The plan's fire-once bookkeeping is shared, so a fault
+    /// consumed by a worker's first run cannot re-fire in its supervised
+    /// retry.
+    pub faults: FaultPlan,
 }
 
 impl Default for PortfolioConfig {
@@ -120,6 +133,8 @@ impl Default for PortfolioConfig {
             stop: StopFlag::new(),
             seed: 0x5eed_1e44a,
             fallback_bounds: FallbackBounds::default(),
+            budget: ResourceBudget::unlimited(),
+            faults: FaultPlan::inert(),
         }
     }
 }
@@ -206,6 +221,17 @@ impl PortfolioOutcome {
     /// Total foreign lemmas rejected by the local re-checks.
     pub fn lemmas_rejected(&self) -> u64 {
         self.worker_stat(|s| s.lemmas_import_rejected)
+    }
+
+    /// Number of worker slots that panicked at least once (including slots
+    /// whose supervised retry then finished cleanly).
+    pub fn worker_crashes(&self) -> usize {
+        self.workers.iter().filter(|w| w.crash.is_some()).count()
+    }
+
+    /// Number of worker slots the supervisor restarted after a first panic.
+    pub fn worker_restarts(&self) -> usize {
+        self.workers.iter().filter(|w| w.restarted).count()
     }
 
     fn worker_stat(&self, pick: impl Fn(&plic3::Statistics) -> u64) -> u64 {
@@ -356,11 +382,16 @@ impl Portfolio {
                     status: WorkerStatus::NotRun,
                     runtime: Duration::ZERO,
                     stats: None,
+                    crash: None,
+                    restarted: false,
                 })
             })
             .collect();
         let winner: Mutex<Option<(usize, WorkerOutcome)>> = Mutex::new(None);
         let next = AtomicUsize::new(0);
+        // One independent memory sub-budget per worker slot; a supervised
+        // retry reuses its slot's (partially spent) budget.
+        let budgets = self.config.budget.split(n);
 
         thread::scope(|scope| {
             // Wall-clock enforcement: without this, a BMC or k-induction
@@ -392,6 +423,8 @@ impl Portfolio {
                 let reports = &reports;
                 let winner = &winner;
                 let next = &next;
+                let budgets = &budgets;
+                let faults = &self.config.faults;
                 scope.spawn(move || loop {
                     let index = next.fetch_add(1, Ordering::Relaxed);
                     if index >= n {
@@ -407,22 +440,76 @@ impl Portfolio {
                         .as_ref()
                         .and_then(|hub| slot_of(index).map(|slot| (hub.clone(), slot)));
                     let worker_started = Instant::now();
-                    let (outcome, stats) = worker::run_worker(
-                        ts,
-                        &workers[index],
-                        limits,
-                        bounds,
-                        stop.clone(),
-                        exchange,
-                    );
+                    // Fault containment: the worker body runs under
+                    // `catch_unwind`, so a panic in one strategy is an
+                    // isolated crash of that slot, never of the race. The
+                    // supervisor restarts the slot once under the
+                    // conservative fallback spec (classic SAT search, no
+                    // lemma exchange); a second panic retires the slot as
+                    // `Crashed`. Crashes produce no outcome, so they can
+                    // cost coverage but never flip the verdict.
+                    let attempt = |spec: &worker::WorkerSpec,
+                                   exchange: Option<(
+                        std::sync::Arc<exchange::Hub>,
+                        usize,
+                    )>| {
+                        catch_unwind(AssertUnwindSafe(|| {
+                            worker::run_worker(
+                                ts,
+                                spec,
+                                limits,
+                                bounds,
+                                stop.clone(),
+                                budgets[index].clone(),
+                                faults.clone(),
+                                exchange,
+                            )
+                        }))
+                    };
+                    let (outcome, stats) = match attempt(&workers[index], exchange) {
+                        Ok(done) => done,
+                        Err(payload) => {
+                            let first_crash = panic_message(payload);
+                            {
+                                let mut report = lock(&reports[index]);
+                                report.crash = Some(first_crash.clone());
+                            }
+                            // Don't bother reviving a slot whose race is
+                            // already over (or externally cancelled).
+                            if stop.is_stopped() {
+                                (
+                                    WorkerOutcome::Crashed {
+                                        payload: first_crash,
+                                    },
+                                    None,
+                                )
+                            } else {
+                                lock(&reports[index]).restarted = true;
+                                let fallback = worker::fallback_spec(&workers[index]);
+                                match attempt(&fallback, None) {
+                                    Ok(done) => done,
+                                    Err(payload) => {
+                                        let second_crash = panic_message(payload);
+                                        lock(&reports[index]).crash = Some(second_crash.clone());
+                                        (
+                                            WorkerOutcome::Crashed {
+                                                payload: second_crash,
+                                            },
+                                            None,
+                                        )
+                                    }
+                                }
+                            }
+                        }
+                    };
                     {
-                        let mut report = reports[index].lock().expect("report lock");
+                        let mut report = lock(&reports[index]);
                         report.status = outcome.status();
                         report.runtime = worker_started.elapsed();
                         report.stats = stats;
                     }
                     if outcome.is_conclusive() {
-                        let mut slot = winner.lock().expect("winner lock");
+                        let mut slot = lock(winner);
                         if slot.is_none() {
                             *slot = Some((index, outcome));
                             // Cancel everyone else.
@@ -435,9 +522,9 @@ impl Portfolio {
 
         let workers: Vec<WorkerReport> = reports
             .into_iter()
-            .map(|m| m.into_inner().expect("report lock"))
+            .map(|m| m.into_inner().unwrap_or_else(|e| e.into_inner()))
             .collect();
-        let (winner_index, result) = match winner.into_inner().expect("winner lock") {
+        let (winner_index, result) = match winner.into_inner().unwrap_or_else(|e| e.into_inner()) {
             Some((index, WorkerOutcome::Safe(proof))) => {
                 (Some(index), PortfolioResult::Safe(proof))
             }
@@ -471,7 +558,10 @@ impl Portfolio {
 }
 
 /// The reason to report when nobody won: the most informative one any worker
-/// hit (budget exhaustion beats a bare cancellation).
+/// hit (budget exhaustion — conflicts or memory — beats a bare cancellation).
+/// Crashed workers carry no reason and are skipped; when *every* worker
+/// crashed the race reports a bare cancellation and the per-worker reports
+/// tell the real story.
 fn unknown_reason(workers: &[WorkerReport]) -> UnknownReason {
     let mut best = UnknownReason::Cancelled;
     for report in workers {
@@ -485,6 +575,27 @@ fn unknown_reason(workers: &[WorkerReport]) -> UnknownReason {
         }
     }
     best
+}
+
+/// Locks a mutex, tolerating poison: a poisoned report or winner lock means
+/// some thread panicked *while holding it*, but the data underneath (plain
+/// status/counter fields) is never left half-written in a way the race could
+/// misread, so the supervisor keeps going instead of amplifying one crash
+/// into a portfolio-wide abort.
+fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Renders a caught panic payload as text (the standard payloads are `&str`
+/// and `String`; anything else gets a placeholder).
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 #[cfg(test)]

@@ -3,7 +3,7 @@
 use crate::exchange::Hub;
 use plic3::{CheckResult, Config, Ic3, LiteralOrdering, Statistics, UnknownReason};
 use plic3_bmc::{BmcDepthStatus, KInduction, KInductionResult};
-use plic3_sat::{RestartPolicy, SearchConfig, StopFlag};
+use plic3_sat::{FaultPlan, ResourceBudget, RestartPolicy, SearchConfig, StopFlag};
 use plic3_ts::{Trace, TransitionSystem};
 use std::sync::Arc;
 use std::time::Duration;
@@ -112,6 +112,14 @@ pub enum WorkerOutcome {
     /// The worker was never started (thread budget exhausted before its turn,
     /// or the race was already over).
     NotRun,
+    /// The worker panicked (and, if the supervisor revived it once, panicked
+    /// again). The payload is the stringified panic message. A crashed worker
+    /// contributes no verdict — the race continues without it, so a crash can
+    /// never flip the portfolio result.
+    Crashed {
+        /// The stringified panic payload of the (last) crash.
+        payload: String,
+    },
 }
 
 impl WorkerOutcome {
@@ -134,6 +142,13 @@ pub struct WorkerReport {
     /// Engine statistics (IC3 workers only), including the lemma-exchange
     /// counters.
     pub stats: Option<Statistics>,
+    /// Stringified panic payload of the last crash in this slot, if the
+    /// worker panicked at least once (even when the supervisor's retry then
+    /// finished cleanly and [`WorkerReport::status`] is not `Crashed`).
+    pub crash: Option<String>,
+    /// `true` when the supervisor restarted this slot once with the
+    /// conservative fallback configuration after a first panic.
+    pub restarted: bool,
 }
 
 /// A [`WorkerOutcome`] stripped of its payload, for reports.
@@ -147,6 +162,8 @@ pub enum WorkerStatus {
     Unknown(UnknownReason),
     /// Never started.
     NotRun,
+    /// Panicked (see [`WorkerReport::crash`] for the payload).
+    Crashed,
 }
 
 impl WorkerOutcome {
@@ -156,24 +173,57 @@ impl WorkerOutcome {
             WorkerOutcome::Unsafe(_) => WorkerStatus::Unsafe,
             WorkerOutcome::Unknown(reason) => WorkerStatus::Unknown(*reason),
             WorkerOutcome::NotRun => WorkerStatus::NotRun,
+            WorkerOutcome::Crashed { .. } => WorkerStatus::Crashed,
         }
+    }
+}
+
+/// The conservative configuration the supervisor restarts a crashed worker
+/// under: the same strategy demoted to the pre-modernization
+/// [`SearchConfig::classic`] search (no inprocessing, no chronological
+/// backtracking, plain Luby restarts) — the code paths least likely to share
+/// whatever tripped the first run. The supervisor additionally detaches the
+/// retry from the lemma exchange.
+pub(crate) fn fallback_spec(spec: &WorkerSpec) -> WorkerSpec {
+    let classic = SearchConfig::classic();
+    let strategy = match &spec.strategy {
+        Strategy::Bmc { .. } => Strategy::Bmc { search: classic },
+        Strategy::KInduction { .. } => Strategy::KInduction { search: classic },
+        Strategy::Ic3(config) => Strategy::Ic3(config.clone().with_search(classic)),
+    };
+    WorkerSpec {
+        label: spec.label.clone(),
+        strategy,
     }
 }
 
 /// Runs one worker to completion (or cancellation). Returns the outcome and,
 /// for IC3 workers, the engine statistics.
+///
+/// The argument list mirrors the full per-slot context the supervisor owns
+/// (stop flag, sub-budget, fault plan, exchange hookup); bundling it into a
+/// struct would only move the same eight names one level down.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_worker(
     ts: &TransitionSystem,
     spec: &WorkerSpec,
     limits: &plic3::Limits,
     bounds: Option<FallbackBounds>,
     stop: StopFlag,
+    budget: ResourceBudget,
+    faults: FaultPlan,
     exchange: Option<(Arc<Hub>, usize)>,
 ) -> (WorkerOutcome, Option<Statistics>) {
     match &spec.strategy {
-        Strategy::Bmc { search } => (run_bmc(ts, limits, bounds, stop, *search), None),
-        Strategy::KInduction { search } => (run_kind(ts, limits, bounds, stop, *search), None),
-        Strategy::Ic3(config) => run_ic3(ts, config, limits, stop, exchange),
+        Strategy::Bmc { search } => (
+            run_bmc(ts, limits, bounds, stop, budget, faults, *search),
+            None,
+        ),
+        Strategy::KInduction { search } => (
+            run_kind(ts, limits, bounds, stop, budget, faults, *search),
+            None,
+        ),
+        Strategy::Ic3(config) => run_ic3(ts, config, limits, stop, budget, faults, exchange),
     }
 }
 
@@ -182,17 +232,21 @@ fn run_bmc(
     limits: &plic3::Limits,
     bounds: Option<FallbackBounds>,
     stop: StopFlag,
+    budget: ResourceBudget,
+    faults: FaultPlan,
     search: SearchConfig,
 ) -> WorkerOutcome {
     let mut bmc = plic3_bmc::Bmc::new(ts);
     bmc.set_search_config(search);
     bmc.set_stop_flag(stop.clone());
+    bmc.set_budget(budget.clone());
+    bmc.set_fault_plan(faults);
     bmc.set_conflict_budget(limits.max_conflicts);
     let max_depth = bounds.map(|b| b.bmc_depth).unwrap_or(usize::MAX);
     let mut depth = 0usize;
     loop {
-        if stop.is_stopped() {
-            return WorkerOutcome::Unknown(UnknownReason::Cancelled);
+        if stop.is_stopped() || budget.is_exhausted() {
+            return WorkerOutcome::Unknown(interruption_reason(&stop, &budget));
         }
         if depth > max_depth {
             return WorkerOutcome::Unknown(UnknownReason::FrameLimit);
@@ -201,7 +255,7 @@ fn run_bmc(
             BmcDepthStatus::Unsafe(trace) => return WorkerOutcome::Unsafe(trace),
             BmcDepthStatus::Clean => depth += 1,
             BmcDepthStatus::Unknown => {
-                return WorkerOutcome::Unknown(interruption_reason(&stop));
+                return WorkerOutcome::Unknown(interruption_reason(&stop, &budget));
             }
         }
         // On machines with fewer cores than workers the racers time-share;
@@ -217,11 +271,15 @@ fn run_kind(
     limits: &plic3::Limits,
     bounds: Option<FallbackBounds>,
     stop: StopFlag,
+    budget: ResourceBudget,
+    faults: FaultPlan,
     search: SearchConfig,
 ) -> WorkerOutcome {
     let mut kind = KInduction::new(ts);
     kind.set_search_config(search);
     kind.set_stop_flag(stop.clone());
+    kind.set_budget(budget.clone());
+    kind.set_fault_plan(faults);
     kind.set_conflict_budget(limits.max_conflicts);
     let max_k = bounds.map(|b| b.max_k).unwrap_or(usize::MAX);
     match kind.check(max_k) {
@@ -229,10 +287,10 @@ fn run_kind(
         KInductionResult::Unsafe { trace, .. } => WorkerOutcome::Unsafe(trace),
         KInductionResult::Unknown { bound } => {
             // Distinguish "ran out of bound" from a genuine interruption.
-            if bound >= max_k && !stop.is_stopped() {
+            if bound >= max_k && !stop.is_stopped() && !budget.is_exhausted() {
                 WorkerOutcome::Unknown(UnknownReason::FrameLimit)
             } else {
-                WorkerOutcome::Unknown(interruption_reason(&stop))
+                WorkerOutcome::Unknown(interruption_reason(&stop, &budget))
             }
         }
     }
@@ -243,9 +301,15 @@ fn run_ic3(
     config: &Config,
     limits: &plic3::Limits,
     stop: StopFlag,
+    budget: ResourceBudget,
+    faults: FaultPlan,
     exchange: Option<(Arc<Hub>, usize)>,
 ) -> (WorkerOutcome, Option<Statistics>) {
-    let mut config = config.clone().with_stop_flag(stop);
+    let mut config = config
+        .clone()
+        .with_stop_flag(stop)
+        .with_budget(budget)
+        .with_fault_plan(faults);
     config.limits = *limits;
     let mut engine = Ic3::new(ts.clone(), config);
     if let Some((hub, slot)) = exchange {
@@ -262,10 +326,14 @@ fn run_ic3(
     (outcome, Some(*engine.statistics()))
 }
 
-/// Why an engine came back interrupted: cancellation when the stop flag is up,
-/// otherwise the only other in-query interruption source, the conflict budget.
-fn interruption_reason(stop: &StopFlag) -> UnknownReason {
-    if stop.is_stopped() {
+/// Why an engine came back interrupted: the memory budget when it tripped
+/// (the budget never raises the stop flag, so it is checked first),
+/// cancellation when the stop flag is up, otherwise the only other in-query
+/// interruption source, the conflict budget.
+fn interruption_reason(stop: &StopFlag, budget: &ResourceBudget) -> UnknownReason {
+    if budget.is_exhausted() {
+        UnknownReason::MemoryOut
+    } else if stop.is_stopped() {
         UnknownReason::Cancelled
     } else {
         UnknownReason::ConflictLimit
@@ -344,5 +412,28 @@ mod tests {
             WorkerOutcome::Unknown(UnknownReason::Cancelled).status(),
             WorkerStatus::Unknown(UnknownReason::Cancelled)
         );
+        let crashed = WorkerOutcome::Crashed {
+            payload: "boom".into(),
+        };
+        assert!(!crashed.is_conclusive(), "a crash never decides the race");
+        assert_eq!(crashed.status(), WorkerStatus::Crashed);
+    }
+
+    #[test]
+    fn fallback_specs_demote_to_the_classic_search() {
+        for spec in default_workers(3) {
+            let fallback = fallback_spec(&spec);
+            assert_eq!(fallback.label, spec.label);
+            let search = match &fallback.strategy {
+                Strategy::Bmc { search } | Strategy::KInduction { search } => *search,
+                Strategy::Ic3(config) => config.search,
+            };
+            assert_eq!(search, SearchConfig::classic());
+            // The strategy kind itself is preserved.
+            assert_eq!(
+                std::mem::discriminant(&fallback.strategy),
+                std::mem::discriminant(&spec.strategy)
+            );
+        }
     }
 }

@@ -37,7 +37,11 @@ use std::collections::HashMap;
 /// substituted functions then yield phase-consistent values at step `t + 1`.
 /// A partition the loop cannot refine further is therefore an inductive
 /// (signed) equivalence.
-pub(crate) fn equivalent_latches(aig: &Aig, stuck: &[Option<bool>]) -> Vec<(usize, bool)> {
+pub(crate) fn equivalent_latches(
+    aig: &Aig,
+    stuck: &[Option<bool>],
+    stop: &plic3_sat::StopFlag,
+) -> Vec<(usize, bool)> {
     let n = aig.num_latches();
     let mut reps: Vec<usize> = (0..n).collect();
     let mut phase: Vec<bool> = vec![false; n];
@@ -70,6 +74,11 @@ pub(crate) fn equivalent_latches(aig: &Aig, stuck: &[Option<bool>]) -> Vec<(usiz
     // stable round keeps every leader, which pins the phases too), so at most
     // n rounds run.
     loop {
+        if stop.is_stopped() {
+            // Cancelled mid-refinement: the current partition is not yet
+            // proven inductive, so the only sound answer is "merge nothing".
+            return (0..n).map(|i| (i, false)).collect();
+        }
         let sigs = signatures(aig, stuck, &reps, &phase);
         let mut group_leader: HashMap<(usize, u32), usize> = HashMap::new();
         let mut next_reps: Vec<usize> = (0..n).collect();
@@ -147,7 +156,11 @@ mod tests {
     use crate::ternary;
 
     fn analyse(aig: &Aig) -> Vec<(usize, bool)> {
-        equivalent_latches(aig, &ternary::stuck_latches(aig))
+        equivalent_latches(
+            aig,
+            &ternary::stuck_latches(aig),
+            &plic3_sat::StopFlag::new(),
+        )
     }
 
     #[test]

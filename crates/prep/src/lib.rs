@@ -59,6 +59,7 @@ pub mod ternary;
 pub use recon::{Reconstruction, SignalSource};
 
 use plic3_aig::{Aig, Simulator};
+use plic3_sat::{FaultKind, FaultPlan, FaultSite, ResourceBudget, StopFlag, INJECTED_PANIC};
 use plic3_ts::{Trace, TransitionSystem};
 use rewrite::LatchFate;
 use std::fmt;
@@ -118,6 +119,10 @@ pub struct PrepStats {
     pub merged_latches: usize,
     /// Wall-clock time spent preprocessing.
     pub prep_time: Duration,
+    /// `true` when the run was interrupted (stop flag raised or memory budget
+    /// exhausted) before reaching a fixpoint; the returned circuit is the
+    /// partial — but still sound — result of the completed rounds.
+    pub cancelled: bool,
 }
 
 impl fmt::Display for PrepStats {
@@ -223,6 +228,38 @@ impl Preprocessor {
     ///
     /// Panics if `original` fails [`Aig::validate`].
     pub fn run(&self, original: &Aig) -> Preprocessed {
+        self.run_under(
+            original,
+            &StopFlag::new(),
+            &ResourceBudget::unlimited(),
+            &FaultPlan::inert(),
+        )
+    }
+
+    /// Runs the pipeline under external supervision: `stop` is checked
+    /// between rewrite rounds, ternary-sweep iterations and
+    /// equivalence-refinement passes; the circuits built along the way are
+    /// charged against `budget`; `faults` injects chaos-test failures at
+    /// round edges.
+    ///
+    /// On cancellation (or budget exhaustion) the pipeline returns the
+    /// partial result of the rounds completed so far — each round is
+    /// individually sound, so a half-done preprocessing is still a correct
+    /// (just less simplified) circuit — with [`PrepStats::cancelled`] set. A
+    /// run interrupted before the first round finishes returns the identity
+    /// rewrite of the original circuit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `original` fails [`Aig::validate`], or when an injected
+    /// fault of kind [`FaultKind::Panic`] fires (chaos testing only).
+    pub fn run_under(
+        &self,
+        original: &Aig,
+        stop: &StopFlag,
+        budget: &ResourceBudget,
+        faults: &FaultPlan,
+    ) -> Preprocessed {
         let started = Instant::now();
         original
             .validate()
@@ -234,14 +271,38 @@ impl Preprocessor {
             ..PrepStats::default()
         };
         let mut current = original.clone();
+        let mut charged = current.estimated_bytes();
+        budget.charge(charged);
         let mut reconstruction =
             Reconstruction::identity(original.num_inputs(), original.num_latches());
         for _ in 0..self.max_rounds.max(1) {
-            let fates = self.latch_fates(&current, &mut stats);
+            match faults.poll(FaultSite::PrepRound) {
+                None => {}
+                Some(FaultKind::Panic) => panic!("{INJECTED_PANIC} at PrepRound"),
+                Some(FaultKind::MemOut) => budget.exhaust(),
+                Some(FaultKind::Cancel) => stop.stop(),
+            }
+            if stop.is_stopped() || budget.is_exhausted() {
+                stats.cancelled = true;
+                break;
+            }
+            let fates = self.latch_fates(&current, &mut stats, stop);
+            if stop.is_stopped() {
+                // The analyses were interrupted and fell back to "change
+                // nothing"; don't spend a rewrite on that.
+                stats.cancelled = true;
+                break;
+            }
             let (next, step) = rewrite::rewrite(&current, &fates, self.coi);
             let changed = next != current;
             reconstruction = reconstruction.compose(&step);
             current = next;
+            // Re-charge for the round's output; the rewrite builder's peak is
+            // transient and bounded by the input size, so the steady-state
+            // circuit is what the budget tracks.
+            budget.uncharge(charged);
+            charged = current.estimated_bytes();
+            budget.charge(charged);
             stats.rounds += 1;
             if !changed {
                 break;
@@ -262,14 +323,14 @@ impl Preprocessor {
 
     /// Decides the fate of every latch of `aig` for one round: stuck-at
     /// constants win, then equivalence merges, then plain keeps.
-    fn latch_fates(&self, aig: &Aig, stats: &mut PrepStats) -> Vec<LatchFate> {
+    fn latch_fates(&self, aig: &Aig, stats: &mut PrepStats, stop: &StopFlag) -> Vec<LatchFate> {
         let stuck = if self.constant_sweep {
-            ternary::stuck_latches(aig)
+            ternary::stuck_latches_with_stop(aig, stop)
         } else {
             vec![None; aig.num_latches()]
         };
         let reps: Vec<(usize, bool)> = if self.merge_equivalent {
-            equiv::equivalent_latches(aig, &stuck)
+            equiv::equivalent_latches(aig, &stuck, stop)
         } else {
             (0..aig.num_latches()).map(|i| (i, false)).collect()
         };

@@ -96,6 +96,13 @@ fn eval(values: &[Ternary], lit: AigLit) -> Ternary {
 /// the latch holds the constant `c` in every reachable state (under every
 /// input sequence), `None` otherwise.
 pub fn stuck_latches(aig: &Aig) -> Vec<Option<bool>> {
+    stuck_latches_with_stop(aig, &plic3_sat::StopFlag::new())
+}
+
+/// [`stuck_latches`] with a cancellation point between fixed-point
+/// iterations: once `stop` is raised the sweep returns the all-`None`
+/// (nothing proven stuck) answer, which is always sound.
+pub fn stuck_latches_with_stop(aig: &Aig, stop: &plic3_sat::StopFlag) -> Vec<Option<bool>> {
     let mut state: Vec<Ternary> = aig
         .latches()
         .iter()
@@ -105,6 +112,9 @@ pub fn stuck_latches(aig: &Aig) -> Vec<Option<bool>> {
     // loop ends after at most num_latches + 1 rounds; the bound below is a
     // defensive cap, not a tuning knob.
     for _ in 0..aig.num_latches() + 2 {
+        if stop.is_stopped() {
+            return vec![None; aig.num_latches()];
+        }
         let values = eval_all(aig, &state);
         let mut changed = false;
         for (i, latch) in aig.latches().iter().enumerate() {

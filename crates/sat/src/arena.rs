@@ -54,6 +54,12 @@ impl ClauseArena {
         self.data.len()
     }
 
+    /// Bytes of backing storage currently reserved (capacity, not length):
+    /// what the solver charges against its [`crate::ResourceBudget`].
+    pub(crate) fn capacity_bytes(&self) -> u64 {
+        (self.data.capacity() * std::mem::size_of::<u32>()) as u64
+    }
+
     /// Words occupied by deleted clauses, reclaimable by a collection.
     pub(crate) fn wasted(&self) -> usize {
         self.wasted

@@ -40,14 +40,18 @@
 
 mod arena;
 mod brute;
+mod budget;
 mod dimacs;
+mod fault;
 mod heap;
 mod solver;
 mod stats;
 mod stop;
 
 pub use brute::brute_force_sat;
+pub use budget::ResourceBudget;
 pub use dimacs::{parse_dimacs, ParseDimacsError};
+pub use fault::{FaultKind, FaultPlan, FaultSite, INJECTED_PANIC};
 pub use solver::{ModelView, RestartPolicy, SatResult, SearchConfig, Solver, SolverConfig};
 pub use stats::SolverStats;
 pub use stop::StopFlag;

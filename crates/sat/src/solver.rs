@@ -7,6 +7,8 @@
 //! buffers owned by the solver and reused across conflicts.
 
 use crate::arena::{ClauseArena, ClauseRef};
+use crate::budget::ResourceBudget;
+use crate::fault::{FaultKind, FaultPlan, FaultSite, INJECTED_PANIC};
 use crate::heap::ActivityHeap;
 use crate::stats::SolverStats;
 use crate::stop::StopFlag;
@@ -328,6 +330,10 @@ pub struct Solver {
     model: Vec<u8>,
     conflict_budget: Option<u64>,
     stop: StopFlag,
+    budget: ResourceBudget,
+    /// Arena bytes currently charged against `budget` (capacity snapshot).
+    arena_charged: u64,
+    faults: FaultPlan,
     stats: SolverStats,
 }
 
@@ -403,6 +409,9 @@ impl Solver {
             model: Vec::new(),
             conflict_budget: None,
             stop: StopFlag::new(),
+            budget: ResourceBudget::unlimited(),
+            arena_charged: 0,
+            faults: FaultPlan::inert(),
             stats: SolverStats::new(),
         }
     }
@@ -512,6 +521,49 @@ impl Solver {
         self.stop = stop;
     }
 
+    /// Installs a shared memory budget. The solver charges the budget for its
+    /// clause-arena storage and polls it wherever it polls the stop flag:
+    /// once exhausted, the current and every future [`Solver::solve`] call
+    /// returns [`SatResult::Unknown`] promptly. The caller (engine layer)
+    /// distinguishes memory-out from cancellation by inspecting its own
+    /// budget handle.
+    pub fn set_budget(&mut self, budget: ResourceBudget) {
+        // Move the already-reserved arena storage onto the new budget so a
+        // solver rebuilt mid-run keeps honest accounting.
+        self.budget.uncharge(self.arena_charged);
+        budget.charge(self.arena_charged);
+        self.budget = budget;
+    }
+
+    /// Installs a fault-injection plan (inert unless the `fault-injection`
+    /// feature is enabled; see [`FaultPlan`]).
+    pub fn set_fault_plan(&mut self, faults: FaultPlan) {
+        self.faults = faults;
+    }
+
+    /// Executes the scheduled fault for `site`, if one is due. Compiles to
+    /// nothing when the `fault-injection` feature is off.
+    #[inline]
+    fn poll_fault(&self, site: FaultSite) {
+        match self.faults.poll(site) {
+            None => {}
+            Some(FaultKind::Panic) => panic!("{INJECTED_PANIC} at {site:?}"),
+            Some(FaultKind::MemOut) => self.budget.exhaust(),
+            Some(FaultKind::Cancel) => self.stop.stop(),
+        }
+    }
+
+    /// Re-syncs the arena storage charge after the arena grew or shrank.
+    fn sync_arena_charge(&mut self) {
+        let now = self.arena.capacity_bytes();
+        if now > self.arena_charged {
+            self.budget.charge(now - self.arena_charged);
+        } else {
+            self.budget.uncharge(self.arena_charged - now);
+        }
+        self.arena_charged = now;
+    }
+
     /// Adds a clause given as an iterator of literals.
     ///
     /// Returns `false` if the clause database became unsatisfiable at the top
@@ -603,6 +655,7 @@ impl Solver {
             self.learnts.push(cref);
             self.stats.learnt_clauses += 1;
         }
+        self.sync_arena_charge();
         cref
     }
 
@@ -753,6 +806,7 @@ impl Solver {
     /// reasons) and rebuilding the watch lists.
     fn check_garbage(&mut self) {
         if self.arena.words() > 1024 && self.arena.wasted() * 5 > self.arena.words() {
+            self.poll_fault(FaultSite::ArenaGc);
             self.garbage_collect();
         }
     }
@@ -794,6 +848,7 @@ impl Solver {
             self.attach_watchers(cref);
             i += 1;
         }
+        self.sync_arena_charge();
         self.stats.garbage_collections += 1;
     }
 
@@ -917,6 +972,7 @@ impl Solver {
     // ------------------------------------------------------------------
 
     fn propagate(&mut self) -> Option<ClauseRef> {
+        self.poll_fault(FaultSite::Propagate);
         let mut conflict = None;
         while self.qhead < self.trail.len() {
             let p = self.trail[self.qhead];
@@ -1439,7 +1495,7 @@ impl Solver {
                         return None;
                     }
                 }
-                if self.stop.is_stopped() {
+                if self.stop.is_stopped() || self.budget.is_exhausted() {
                     self.cancel_until(0);
                     return None;
                 }
@@ -1485,8 +1541,9 @@ impl Solver {
     /// [`Solver::model_value`]. After [`SatResult::Unsat`],
     /// [`Solver::unsat_core`] returns the subset of assumptions that was used.
     /// [`SatResult::Unknown`] is only returned when a conflict budget is set
-    /// ([`Solver::set_conflict_budget`]) or a stop flag has been raised
-    /// ([`Solver::set_stop_flag`]).
+    /// ([`Solver::set_conflict_budget`]), a stop flag has been raised
+    /// ([`Solver::set_stop_flag`]), or a memory budget has been exhausted
+    /// ([`Solver::set_budget`]).
     pub fn solve(&mut self, assumptions: &[Lit]) -> SatResult {
         self.stats.solves += 1;
         self.model.clear();
@@ -1534,7 +1591,8 @@ impl Solver {
                     break;
                 }
                 None => {
-                    if self.stop.is_stopped() {
+                    self.poll_fault(FaultSite::Restart);
+                    if self.stop.is_stopped() || self.budget.is_exhausted() {
                         result = SatResult::Unknown;
                         break;
                     }
@@ -1686,6 +1744,7 @@ impl Solver {
             && self.ok
             && !self.learnts.is_empty()
             && !self.stop.is_stopped()
+            && !self.budget.is_exhausted()
         {
             if self.vivify_head >= self.learnts.len() {
                 self.vivify_head = 0;

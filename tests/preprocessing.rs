@@ -150,3 +150,56 @@ fn preprocessing_shrinks_at_least_one_family_significantly() {
          ({total_before} → {total_after} nodes)"
     );
 }
+
+#[test]
+fn a_raised_stop_cancels_preprocessing_into_a_sound_identity_rewrite() {
+    // The feature-off half of the robustness contract (docs/ROBUSTNESS.md):
+    // a watchdog that fires before/while the pipeline runs cancels it between
+    // rounds. Interrupted before the first round completes, `run_under`
+    // returns the identity rewrite of the original circuit — still valid,
+    // still sound to model-check — with the cancellation recorded.
+    use plic3_repro::ic3::{FaultPlan, ResourceBudget, StopFlag};
+    use plic3_repro::prep::Preprocessor;
+
+    for bench in &Suite::quick() {
+        let stop = StopFlag::new();
+        stop.stop();
+        let prep = Preprocessor::default().run_under(
+            bench.aig(),
+            &stop,
+            &ResourceBudget::unlimited(),
+            &FaultPlan::inert(),
+        );
+        assert!(
+            prep.stats.cancelled,
+            "{}: cancellation unreported",
+            bench.name()
+        );
+        assert_eq!(
+            prep.stats.rounds,
+            0,
+            "{}: a round ran past the stop",
+            bench.name()
+        );
+        assert_eq!(
+            prep.aig,
+            *bench.aig(),
+            "{}: an interrupted pipeline must hand back the original circuit",
+            bench.name()
+        );
+        prep.aig.validate().expect("identity output validates");
+    }
+
+    // An exhausted memory budget cancels the same way — graceful, sound,
+    // reported — never an abort.
+    let bench = Suite::quick().iter().next().expect("non-empty").clone();
+    let budget = ResourceBudget::with_limit(1);
+    let prep = Preprocessor::default().run_under(
+        bench.aig(),
+        &StopFlag::new(),
+        &budget,
+        &FaultPlan::inert(),
+    );
+    assert!(prep.stats.cancelled);
+    assert_eq!(prep.aig, *bench.aig());
+}
