@@ -80,8 +80,24 @@ impl<'a> Bmc<'a> {
     /// Creates a bounded model checker for `ts`, with the initial-state
     /// constraint already asserted at frame 0.
     pub fn new(ts: &'a TransitionSystem) -> Self {
+        Bmc::with_options(ts, false)
+    }
+
+    /// [`Bmc::new`] with DRAT proof tracing enabled on the unrolling solver
+    /// *before* any clause is loaded, so every `Clean`/`NoCounterexample`
+    /// answer carries a checkable refutation ([`Bmc::proof`]). A no-op (plain
+    /// `new`) without the `proof-log` feature of `plic3-sat`.
+    pub fn with_proof_tracing(ts: &'a TransitionSystem) -> Self {
+        Bmc::with_options(ts, true)
+    }
+
+    fn with_options(ts: &'a TransitionSystem, trace_proof: bool) -> Self {
         let unroller = Unroller::new(ts);
         let mut solver = Solver::new();
+        if trace_proof {
+            // Must precede clause loading: the checker needs the axioms too.
+            solver.enable_proof_tracing();
+        }
         solver.ensure_vars(unroller.num_vars_through(0));
         for clause in unroller.init_clauses() {
             solver.add_clause_ref(&clause);
@@ -92,6 +108,20 @@ impl<'a> Bmc<'a> {
             solver,
             loaded_frames: 0,
         }
+    }
+
+    /// The DRAT proof recorded so far (see [`Bmc::with_proof_tracing`]);
+    /// `None` when tracing is off or compiled out. After an UNSAT depth
+    /// query, checking the proof under [`Bmc::bad_assumptions_at`] for that
+    /// depth verifies the "no counterexample at this depth" claim.
+    pub fn proof(&self) -> Option<&plic3_sat::Proof> {
+        self.solver.proof()
+    }
+
+    /// The assumption literals of the depth-`depth` bad-state query, for
+    /// checking the recorded proof against exactly what was asked.
+    pub fn bad_assumptions_at(&self, depth: usize) -> Vec<plic3_logic::Lit> {
+        self.unroller.bad_assumptions_at(depth)
     }
 
     /// Limits the SAT conflicts spent in each per-depth query; `None` removes

@@ -85,16 +85,71 @@ pub struct KInduction<'a> {
 impl<'a> KInduction<'a> {
     /// Creates a k-induction engine for `ts`.
     pub fn new(ts: &'a TransitionSystem) -> Self {
+        KInduction::with_options(ts, false)
+    }
+
+    /// [`KInduction::new`] with DRAT proof tracing enabled on both backing
+    /// solvers before any clause is loaded. A `Safe { k }` verdict is then
+    /// backed by two checkable refutations: the base-case proof under
+    /// [`KInduction::base_assumptions_at`]`(k)` and the step-case proof under
+    /// [`KInduction::step_assumptions_at`]`(k)`. A no-op (plain `new`) without
+    /// the `proof-log` feature of `plic3-sat`.
+    pub fn with_proof_tracing(ts: &'a TransitionSystem) -> Self {
+        KInduction::with_options(ts, true)
+    }
+
+    fn with_options(ts: &'a TransitionSystem, trace_proof: bool) -> Self {
         let unroller = Unroller::new(ts);
         let mut step_solver = Solver::new();
+        if trace_proof {
+            step_solver.enable_proof_tracing();
+        }
         step_solver.ensure_vars(unroller.num_vars_through(0));
         KInduction {
             ts,
-            bmc: Bmc::new(ts),
+            bmc: if trace_proof {
+                Bmc::with_proof_tracing(ts)
+            } else {
+                Bmc::new(ts)
+            },
             unroller,
             step_solver,
             loaded_frames: 0,
         }
+    }
+
+    /// The base-case (BMC) DRAT proof recorded so far; `None` when tracing is
+    /// off or compiled out.
+    pub fn base_proof(&self) -> Option<&plic3_sat::Proof> {
+        self.bmc.proof()
+    }
+
+    /// The step-case DRAT proof recorded so far; `None` when tracing is off
+    /// or compiled out.
+    pub fn step_proof(&self) -> Option<&plic3_sat::Proof> {
+        self.step_solver.proof()
+    }
+
+    /// The assumptions of the depth-`k` base-case query (delegates to the
+    /// backing BMC engine), for checking [`KInduction::base_proof`].
+    pub fn base_assumptions_at(&self, k: usize) -> Vec<Lit> {
+        self.bmc.bad_assumptions_at(k)
+    }
+
+    /// The assumptions of the depth-`k` step-case query — `k` good
+    /// constraint-satisfying states followed by a bad one — exactly as
+    /// [`KInduction::step_case_holds`] poses it, for checking
+    /// [`KInduction::step_proof`].
+    pub fn step_assumptions_at(&self, k: usize) -> Vec<Lit> {
+        let mut assumptions: Vec<Lit> = Vec::new();
+        for frame in 0..k {
+            assumptions.push(!self.unroller.lit_at(frame, self.ts.bad_lit()));
+            for &c in self.ts.constraint_lits() {
+                assumptions.push(self.unroller.lit_at(frame, c));
+            }
+        }
+        assumptions.extend(self.unroller.bad_assumptions_at(k));
+        assumptions
     }
 
     /// Limits the SAT conflicts spent per query in both the base and the step
@@ -151,14 +206,7 @@ impl<'a> KInduction<'a> {
     /// followed by a bad one. Returns `true` if no such path exists.
     pub fn step_case_holds(&mut self, k: usize) -> Option<bool> {
         self.load_step_frame(k);
-        let mut assumptions: Vec<Lit> = Vec::new();
-        for frame in 0..k {
-            assumptions.push(!self.unroller.lit_at(frame, self.ts.bad_lit()));
-            for &c in self.ts.constraint_lits() {
-                assumptions.push(self.unroller.lit_at(frame, c));
-            }
-        }
-        assumptions.extend(self.unroller.bad_assumptions_at(k));
+        let assumptions = self.step_assumptions_at(k);
         match self.step_solver.solve(&assumptions) {
             SatResult::Unsat => Some(true),
             SatResult::Sat => Some(false),

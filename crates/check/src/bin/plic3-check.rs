@@ -1,0 +1,171 @@
+//! Check an AIGER circuit and independently verify the evidence.
+//!
+//! `plic3-check` runs the IC3 engine on one AIGER file and then refuses to
+//! take the engine's word for it:
+//!
+//! * a `Safe` verdict's invariant certificate is checked on the **original**
+//!   circuit (through the preprocessing reconstruction when preprocessing is
+//!   on) by `plic3_check::check_certificate_on_original`;
+//! * an `Unsafe` verdict's counterexample trace is replayed gate by gate on
+//!   the original circuit.
+//!
+//! Exit codes: `0` verdict reached and evidence verified, `1` evidence failed
+//! verification, `2` usage error, `3` no verdict within the budget.
+
+use plic3::{CheckResult, Config, Ic3};
+use plic3_aig::parse_aiger;
+use plic3_check::{check_certificate_on_original, CheckOptions};
+use plic3_prep::{preprocess, Reconstruction};
+use plic3_ts::TransitionSystem;
+use std::process::ExitCode;
+use std::time::Duration;
+
+const USAGE: &str = "\
+usage: plic3-check [options] <circuit.aag|circuit.aig>
+
+Runs IC3 on the circuit and independently verifies the evidence behind the
+verdict: invariant certificates are checked on the original circuit, and
+counterexample traces are replayed on it.
+
+options:
+  --no-preprocess   run the engine on the raw circuit (default: preprocess)
+  --timeout <secs>  engine time budget in seconds (default: 60)
+  --drat            additionally DRAT-check the certificate checker's own
+                    UNSAT queries (needs the `proof-log` build of plic3-sat;
+                    silently checks nothing otherwise)
+  --help            show this help
+
+exit codes: 0 verified, 1 verification failed, 2 usage error, 3 no verdict";
+
+struct Options {
+    path: String,
+    preprocess: bool,
+    timeout: Duration,
+    drat: bool,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut path = None;
+    let mut preprocess = true;
+    let mut timeout = Duration::from_secs(60);
+    let mut drat = false;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--no-preprocess" => preprocess = false,
+            "--drat" => drat = true,
+            "--timeout" => {
+                let value = iter.next().ok_or("--timeout needs a value")?;
+                let secs: u64 = value
+                    .parse()
+                    .map_err(|_| format!("invalid --timeout value: {value}"))?;
+                timeout = Duration::from_secs(secs);
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other if other.starts_with('-') => return Err(format!("unknown option: {other}")),
+            other => {
+                if path.replace(other.to_string()).is_some() {
+                    return Err("expected exactly one circuit file".to_string());
+                }
+            }
+        }
+    }
+    let path = path.ok_or("expected a circuit file")?;
+    Ok(Options {
+        path,
+        preprocess,
+        timeout,
+        drat,
+    })
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let options = match parse_args(&args) {
+        Ok(options) => options,
+        Err(message) => {
+            if message.is_empty() {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("plic3-check: {message}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let bytes = match std::fs::read(&options.path) {
+        Ok(bytes) => bytes,
+        Err(err) => {
+            eprintln!("plic3-check: cannot read {}: {err}", options.path);
+            return ExitCode::from(2);
+        }
+    };
+    let original = match parse_aiger(&bytes) {
+        Ok(aig) => aig,
+        Err(err) => {
+            eprintln!("plic3-check: cannot parse {}: {err}", options.path);
+            return ExitCode::from(2);
+        }
+    };
+
+    let prep = options.preprocess.then(|| preprocess(&original));
+    let ts = match &prep {
+        Some(p) => {
+            println!("{}", p.stats);
+            TransitionSystem::from_aig(&p.aig)
+        }
+        None => TransitionSystem::from_aig(&original),
+    };
+    let config = Config::ric3_like().with_max_time(options.timeout);
+    let mut engine = Ic3::new(ts, config);
+    let outcome = engine.check();
+
+    match &outcome {
+        CheckResult::Safe(cert) => {
+            println!(
+                "verdict: safe ({} lemmas, level {})",
+                cert.lemmas.len(),
+                cert.level
+            );
+            let identity = Reconstruction::identity(original.num_inputs(), original.num_latches());
+            let recon = prep.as_ref().map_or(&identity, |p| &p.reconstruction);
+            let check_options = CheckOptions {
+                stop: None,
+                drat: options.drat,
+            };
+            match check_certificate_on_original(&original, recon, engine.ts(), cert, &check_options)
+            {
+                Ok(report) => {
+                    println!(
+                        "certificate verified on the original circuit: {} lemmas, {} \
+                         preprocessing facts, {} SAT queries, {} DRAT-checked",
+                        report.lemmas, report.facts, report.queries, report.drat_checked
+                    );
+                    ExitCode::SUCCESS
+                }
+                Err(err) => {
+                    eprintln!("plic3-check: {err}");
+                    ExitCode::from(1)
+                }
+            }
+        }
+        CheckResult::Unsafe(trace) => {
+            println!("verdict: unsafe ({} steps)", trace.len());
+            let replays = match &prep {
+                Some(p) => p.replay_on_original(engine.ts(), trace),
+                None => plic3::verify_trace(engine.ts(), &original, trace),
+            };
+            if replays {
+                println!("counterexample replayed on the original circuit");
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("plic3-check: counterexample does NOT replay on the original circuit");
+                ExitCode::from(1)
+            }
+        }
+        CheckResult::Unknown(reason) => {
+            println!("verdict: unknown ({reason:?})");
+            ExitCode::from(3)
+        }
+    }
+}

@@ -1,0 +1,525 @@
+//! A backward DRAT (RUP) checker for UNSAT proofs traced by `plic3-sat`.
+//!
+//! The checker consumes a [`Proof`] — the sequence of `Input`/`Add`/`Delete`
+//! lines a tracing solver recorded — together with the assumptions of the
+//! `solve` call whose `Unsat` answer is being certified, and verifies:
+//!
+//! 1. **The proof derives a conflict**: unit propagation over the final
+//!    clause database (all lines added and not deleted) plus the assumption
+//!    literals runs into a conflict.
+//! 2. **Every derived clause is sound**: walking the proof backwards, each
+//!    `Add` line that the conflict (transitively) depends on is checked to
+//!    have the RUP property — asserting the negation of its literals and
+//!    propagating over the clauses *preceding* it yields a conflict, so the
+//!    clause is implied by them. `Input` lines are axioms and are not
+//!    checked; they are the formula the proof is about.
+//!
+//! The backward pass mirrors drat-trim: deletions re-attach their clause,
+//! additions detach theirs, so the attached set always equals the database at
+//! the line currently being checked, and only lines marked as antecedents of
+//! some conflict are verified.
+//!
+//! Clauses are matched by content (sorted, deduplicated literal sets), never
+//! by identity, which is also how the solver emits them.
+
+use plic3_logic::Lit;
+use plic3_sat::{Proof, ProofStep};
+use std::collections::HashMap;
+
+/// Outcome summary of a successful [`check_unsat_proof`] run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DratStats {
+    /// Total proof lines processed.
+    pub steps: usize,
+    /// `Input` (axiom) lines among them.
+    pub inputs: usize,
+    /// `Add` lines actually RUP-checked (the antecedent cone of the final
+    /// conflict; unmarked additions need no check).
+    pub checked_adds: usize,
+}
+
+const UNDEF: u8 = 0;
+const TRUE: u8 = 1;
+const FALSE: u8 = 2;
+
+/// One clause record of the checker's database.
+struct Rec {
+    /// Working literal order; the first two are the watched literals.
+    lits: Vec<Lit>,
+    /// Sorted, deduplicated content, used to match `Delete` lines.
+    key: Vec<Lit>,
+    /// `true` for axioms (`Input` lines), which are never RUP-checked.
+    input: bool,
+    /// Transitively needed for the final conflict (set by antecedent marking).
+    marked: bool,
+}
+
+/// How a propagation run hit a conflict, carrying what to mark.
+enum Conflict {
+    /// A clause went entirely false.
+    Clause(u32),
+    /// Enqueuing `lit` (with `reason`) contradicted the existing assignment.
+    Enqueue { lit: Lit, reason: Option<u32> },
+}
+
+struct Checker {
+    recs: Vec<Rec>,
+    /// Per-variable assignment, `UNDEF`/`TRUE`/`FALSE` of the positive literal.
+    values: Vec<u8>,
+    /// Per-variable reason record id + 1 (0 = seed/decision).
+    reason: Vec<u32>,
+    trail: Vec<Lit>,
+    /// Watch lists keyed by the watched literal's code (visited when that
+    /// literal becomes false).
+    watches: Vec<Vec<u32>>,
+    /// Attached unit records.
+    units: Vec<u32>,
+    /// Attached empty records (an immediate conflict).
+    empties: Vec<u32>,
+    /// Antecedent-marking scratch: per-variable generation stamp.
+    seen: Vec<u32>,
+    generation: u32,
+}
+
+impl Checker {
+    fn new(nvars: usize) -> Self {
+        Checker {
+            recs: Vec::new(),
+            values: vec![UNDEF; nvars],
+            reason: vec![0; nvars],
+            trail: Vec::new(),
+            watches: vec![Vec::new(); 2 * nvars],
+            units: Vec::new(),
+            empties: Vec::new(),
+            seen: vec![0; nvars],
+            generation: 0,
+        }
+    }
+
+    fn add_rec(&mut self, lits: &[Lit], input: bool) -> u32 {
+        let key = normalize(lits);
+        let id = self.recs.len() as u32;
+        self.recs.push(Rec {
+            lits: key.clone(),
+            key,
+            input,
+            marked: false,
+        });
+        id
+    }
+
+    fn attach(&mut self, id: u32) {
+        let rec = &self.recs[id as usize];
+        match rec.lits.len() {
+            0 => self.empties.push(id),
+            1 => self.units.push(id),
+            _ => {
+                let (w0, w1) = (rec.lits[0], rec.lits[1]);
+                self.watches[w0.code()].push(id);
+                self.watches[w1.code()].push(id);
+            }
+        }
+    }
+
+    fn detach(&mut self, id: u32) {
+        let rec = &self.recs[id as usize];
+        match rec.lits.len() {
+            0 => remove_id(&mut self.empties, id),
+            1 => remove_id(&mut self.units, id),
+            _ => {
+                let (w0, w1) = (rec.lits[0], rec.lits[1]);
+                remove_id(&mut self.watches[w0.code()], id);
+                remove_id(&mut self.watches[w1.code()], id);
+            }
+        }
+    }
+
+    #[inline]
+    fn value_lit(&self, lit: Lit) -> u8 {
+        let v = self.values[lit.var().index()];
+        if v == UNDEF || lit.is_pos() {
+            v
+        } else {
+            v ^ 3 // swap TRUE <-> FALSE
+        }
+    }
+
+    /// Assigns `lit` true. Returns the conflict if it is already false.
+    fn enqueue(&mut self, lit: Lit, reason: Option<u32>) -> Option<Conflict> {
+        match self.value_lit(lit) {
+            TRUE => None,
+            FALSE => Some(Conflict::Enqueue { lit, reason }),
+            _ => {
+                let v = lit.var().index();
+                self.values[v] = if lit.is_pos() { TRUE } else { FALSE };
+                self.reason[v] = reason.map_or(0, |r| r + 1);
+                self.trail.push(lit);
+                None
+            }
+        }
+    }
+
+    fn propagate(&mut self) -> Option<Conflict> {
+        let mut qhead = 0;
+        while qhead < self.trail.len() {
+            let p = self.trail[qhead];
+            qhead += 1;
+            let falsified = !p;
+            let code = falsified.code();
+            let mut i = 0;
+            while i < self.watches[code].len() {
+                let id = self.watches[code][i];
+                let rec = &mut self.recs[id as usize];
+                if rec.lits[0] == falsified {
+                    rec.lits.swap(0, 1);
+                }
+                let first = rec.lits[0];
+                if self.value_lit(first) == TRUE {
+                    i += 1;
+                    continue;
+                }
+                // Look for a non-false replacement watch.
+                let mut moved = false;
+                for k in 2..self.recs[id as usize].lits.len() {
+                    let l = self.recs[id as usize].lits[k];
+                    if self.value_lit(l) != FALSE {
+                        self.recs[id as usize].lits.swap(1, k);
+                        self.watches[code].swap_remove(i);
+                        self.watches[l.code()].push(id);
+                        moved = true;
+                        break;
+                    }
+                }
+                if moved {
+                    continue;
+                }
+                if self.value_lit(first) == FALSE {
+                    return Some(Conflict::Clause(id));
+                }
+                if let Some(confl) = self.enqueue(first, Some(id)) {
+                    return Some(confl);
+                }
+                i += 1;
+            }
+        }
+        None
+    }
+
+    /// Marks the conflict's antecedent cone: the conflicting record, every
+    /// reason record reachable from it through the trail, and so on.
+    fn mark_antecedents(&mut self, conflict: Conflict) {
+        self.generation += 1;
+        let generation = self.generation;
+        let flag_rec = |recs: &mut Vec<Rec>, seen: &mut Vec<u32>, id: u32| {
+            let rec = &mut recs[id as usize];
+            rec.marked = true;
+            for &l in &rec.lits {
+                seen[l.var().index()] = generation;
+            }
+        };
+        match conflict {
+            Conflict::Clause(id) => flag_rec(&mut self.recs, &mut self.seen, id),
+            Conflict::Enqueue { lit, reason } => {
+                self.seen[lit.var().index()] = generation;
+                if let Some(id) = reason {
+                    flag_rec(&mut self.recs, &mut self.seen, id);
+                }
+            }
+        }
+        for i in (0..self.trail.len()).rev() {
+            let v = self.trail[i].var().index();
+            if self.seen[v] != generation {
+                continue;
+            }
+            let r = self.reason[v];
+            if r != 0 {
+                flag_rec(&mut self.recs, &mut self.seen, r - 1);
+            }
+        }
+    }
+
+    /// Undoes every assignment of the current check.
+    fn undo(&mut self) {
+        for i in 0..self.trail.len() {
+            let v = self.trail[i].var().index();
+            self.values[v] = UNDEF;
+            self.reason[v] = 0;
+        }
+        self.trail.clear();
+    }
+
+    /// The RUP check: does asserting the negation of every literal of
+    /// `clause`, on top of the attached database, propagate to a conflict?
+    /// On success the conflict's antecedents are marked. The assignment is
+    /// fully undone either way.
+    fn rup_conflicts(&mut self, clause: &[Lit]) -> bool {
+        debug_assert!(self.trail.is_empty());
+        let mut conflict = None;
+        if let Some(&id) = self.empties.last() {
+            conflict = Some(Conflict::Clause(id));
+        }
+        if conflict.is_none() {
+            let units: Vec<u32> = self.units.clone();
+            for id in units {
+                let l = self.recs[id as usize].lits[0];
+                conflict = self.enqueue(l, Some(id));
+                if conflict.is_some() {
+                    break;
+                }
+            }
+        }
+        if conflict.is_none() {
+            for &l in clause {
+                conflict = self.enqueue(!l, None);
+                if conflict.is_some() {
+                    break;
+                }
+            }
+        }
+        if conflict.is_none() {
+            conflict = self.propagate();
+        }
+        let found = conflict.is_some();
+        if let Some(confl) = conflict {
+            self.mark_antecedents(confl);
+        }
+        self.undo();
+        found
+    }
+}
+
+fn remove_id(list: &mut Vec<u32>, id: u32) {
+    let pos = list
+        .iter()
+        .position(|&x| x == id)
+        .expect("detached record must be attached");
+    list.swap_remove(pos);
+}
+
+fn normalize(lits: &[Lit]) -> Vec<Lit> {
+    let mut key = lits.to_vec();
+    key.sort_unstable();
+    key.dedup();
+    key
+}
+
+enum Action {
+    Added(u32),
+    Deleted(u32),
+}
+
+/// Checks that `proof` certifies the unsatisfiability of its input clauses
+/// under `assumptions` (the assumptions of the `solve` call that answered
+/// `Unsat`; pass the empty slice for a top-level refutation, or the
+/// solver's `unsat_core()` — any superset of the core works).
+///
+/// Returns the check summary, or a description of the first defect: a
+/// deletion of a clause never added, a missing final conflict, or an `Add`
+/// line without the RUP property.
+pub fn check_unsat_proof(proof: &Proof, assumptions: &[Lit]) -> Result<DratStats, String> {
+    let steps = proof.steps();
+    let mut nvars = 0;
+    for step in steps {
+        for &l in step.lits() {
+            nvars = nvars.max(l.var().index() + 1);
+        }
+    }
+    for &l in assumptions {
+        nvars = nvars.max(l.var().index() + 1);
+    }
+    let mut checker = Checker::new(nvars);
+    let mut actions: Vec<Action> = Vec::with_capacity(steps.len());
+    let mut by_key: HashMap<Vec<Lit>, Vec<u32>> = HashMap::new();
+    let mut inputs = 0;
+    for (pos, step) in steps.iter().enumerate() {
+        match step {
+            ProofStep::Input(lits) | ProofStep::Add(lits) => {
+                let input = matches!(step, ProofStep::Input(_));
+                inputs += usize::from(input);
+                let id = checker.add_rec(lits, input);
+                by_key
+                    .entry(checker.recs[id as usize].key.clone())
+                    .or_default()
+                    .push(id);
+                checker.attach(id);
+                actions.push(Action::Added(id));
+            }
+            ProofStep::Delete(lits) => {
+                let key = normalize(lits);
+                let id = by_key
+                    .get_mut(&key)
+                    .and_then(|stack| stack.pop())
+                    .ok_or_else(|| {
+                        format!("step {pos}: delete of a clause not in the database: {key:?}")
+                    })?;
+                checker.detach(id);
+                actions.push(Action::Deleted(id));
+            }
+        }
+    }
+    // 1. The final database plus the assumptions must propagate to a
+    //    conflict. Seeding the assumptions is the same as RUP-checking the
+    //    clause of their negations (which the solver also logs as its last
+    //    derived clause on an assumption-UNSAT answer).
+    let negated_assumptions: Vec<Lit> = assumptions.iter().map(|&l| !l).collect();
+    if !checker.rup_conflicts(&negated_assumptions) {
+        return Err("the proof does not derive a conflict under the given assumptions".to_string());
+    }
+    // 2. Backward sweep: re-attach deletions, detach additions, RUP-check
+    //    every marked (needed) derived clause against what precedes it.
+    let mut checked_adds = 0;
+    for action in actions.iter().rev() {
+        match *action {
+            Action::Deleted(id) => checker.attach(id),
+            Action::Added(id) => {
+                checker.detach(id);
+                let rec = &checker.recs[id as usize];
+                if rec.marked && !rec.input {
+                    let lits = rec.key.clone();
+                    if !checker.rup_conflicts(&lits) {
+                        return Err(format!("derived clause is not RUP: {lits:?}"));
+                    }
+                    checked_adds += 1;
+                }
+            }
+        }
+    }
+    Ok(DratStats {
+        steps: steps.len(),
+        inputs,
+        checked_adds,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plic3_logic::{Lit, Var};
+    use plic3_sat::ProofStep;
+
+    fn lit(v: u32, pos: bool) -> Lit {
+        Lit::new(Var::new(v), pos)
+    }
+
+    fn proof(steps: Vec<ProofStep>) -> plic3_sat::Proof {
+        plic3_sat::Proof::from_steps(steps)
+    }
+
+    #[test]
+    fn empty_proof_without_conflict_is_rejected() {
+        let p = plic3_sat::Proof::default();
+        let err = check_unsat_proof(&p, &[]).unwrap_err();
+        assert!(err.contains("does not derive a conflict"), "{err}");
+    }
+
+    #[test]
+    fn resolution_chain_checks() {
+        // (a ∨ b) ∧ (¬a ∨ b) ∧ (¬b): derive b, then the empty clause.
+        let a = lit(0, true);
+        let b = lit(1, true);
+        let p = proof(vec![
+            ProofStep::Input(vec![a, b]),
+            ProofStep::Input(vec![!a, b]),
+            ProofStep::Input(vec![!b]),
+            ProofStep::Add(vec![b]),
+            ProofStep::Add(vec![]),
+        ]);
+        let stats = check_unsat_proof(&p, &[]).expect("valid refutation");
+        assert_eq!(stats.steps, 5);
+        assert_eq!(stats.inputs, 3);
+        assert!(stats.checked_adds >= 1);
+    }
+
+    #[test]
+    fn non_rup_addition_is_rejected() {
+        // `b` does not follow from (a ∨ b) by unit propagation; using it to
+        // "derive" the empty clause must be caught by the backward pass.
+        let a = lit(0, true);
+        let b = lit(1, true);
+        let p = proof(vec![
+            ProofStep::Input(vec![a, b]),
+            ProofStep::Input(vec![!b]),
+            ProofStep::Add(vec![b]),
+            ProofStep::Add(vec![]),
+        ]);
+        let err = check_unsat_proof(&p, &[]).unwrap_err();
+        assert!(err.contains("not RUP"), "{err}");
+    }
+
+    #[test]
+    fn deleting_a_needed_clause_breaks_the_proof() {
+        let a = lit(0, true);
+        let b = lit(1, true);
+        let p = proof(vec![
+            ProofStep::Input(vec![a, b]),
+            ProofStep::Input(vec![!a, b]),
+            ProofStep::Input(vec![!b]),
+            ProofStep::Delete(vec![!a, b]),
+            ProofStep::Add(vec![b]),
+            ProofStep::Add(vec![]),
+        ]);
+        let err = check_unsat_proof(&p, &[]).unwrap_err();
+        assert!(err.contains("not RUP"), "{err}");
+    }
+
+    #[test]
+    fn deleting_an_absent_clause_is_rejected() {
+        let a = lit(0, true);
+        let p = proof(vec![ProofStep::Delete(vec![a])]);
+        let err = check_unsat_proof(&p, &[]).unwrap_err();
+        assert!(err.contains("not in the database"), "{err}");
+    }
+
+    #[test]
+    fn assumption_conflicts_are_found() {
+        // (¬a ∨ b) is satisfiable, but not under assumptions a ∧ ¬b.
+        let a = lit(0, true);
+        let b = lit(1, true);
+        let p = proof(vec![
+            ProofStep::Input(vec![!a, b]),
+            ProofStep::Add(vec![!a, b]), // solver logs ¬core; here core = {a, ¬b}
+        ]);
+        let stats = check_unsat_proof(&p, &[a, !b]).expect("conflict under assumptions");
+        assert!(stats.steps >= 1);
+        assert!(
+            check_unsat_proof(&p, &[a]).is_err(),
+            "satisfiable under a alone"
+        );
+    }
+
+    #[test]
+    fn deletions_restore_clauses_for_earlier_checks() {
+        // The derived unit `b` needs (¬a ∨ b); deleting that clause *after*
+        // the addition is fine — the backward pass re-attaches it.
+        let a = lit(0, true);
+        let b = lit(1, true);
+        let p = proof(vec![
+            ProofStep::Input(vec![a, b]),
+            ProofStep::Input(vec![!a, b]),
+            ProofStep::Input(vec![!b]),
+            ProofStep::Add(vec![b]),
+            ProofStep::Delete(vec![!a, b]),
+            ProofStep::Add(vec![]),
+        ]);
+        check_unsat_proof(&p, &[]).expect("deletion after use is harmless");
+    }
+
+    #[test]
+    fn tautological_additions_check_trivially() {
+        let a = lit(0, true);
+        let p = proof(vec![
+            ProofStep::Input(vec![a]),
+            ProofStep::Input(vec![!a]),
+            ProofStep::Add(vec![a, !a]),
+            ProofStep::Add(vec![]),
+        ]);
+        check_unsat_proof(&p, &[]).expect("tautologies are trivially sound");
+    }
+
+    #[test]
+    fn normalization_sorts_and_dedups() {
+        let a = lit(3, true);
+        let b = lit(1, false);
+        assert_eq!(normalize(&[a, b, a]), vec![b, a]);
+    }
+}

@@ -1,0 +1,467 @@
+//! Checking inductive-invariant certificates on the **original** circuit.
+//!
+//! An IC3 or k-induction `Safe` verdict comes with a [`Certificate`]: a set of
+//! lemma clauses whose conjunction with the property is an inductive invariant
+//! of the transition system the engine actually ran on. When preprocessing is
+//! in the loop, that system is the *simplified* circuit — so a checker that
+//! replays the certificate on the simplified circuit would trust every
+//! preprocessing pass. This module does better: it translates the certificate
+//! back through the preprocessing [`Reconstruction`] and discharges all three
+//! invariant conditions (initiation, consecution, property) on a transition
+//! system built from the **original, untouched** circuit.
+//!
+//! # Translation
+//!
+//! Each preprocessing pass records, for every original latch, a
+//! [`SignalSource`]: kept (possibly negated) as simplified latch `n`, proved
+//! constant, or dropped as irrelevant. The checker inverts that map:
+//!
+//! * every simplified latch gets a **representative** original latch (the
+//!   first kept original latch mapping to it that survives the original
+//!   circuit's own cone-of-influence reduction); lemma literals are rewritten
+//!   onto the representatives with the recorded polarities;
+//! * every *other* kept original latch yields an **equivalence fact** tying it
+//!   to its class representative, and every constant-folded latch yields a
+//!   **unit fact** — these are exactly the reachability facts preprocessing
+//!   claimed, and the checker does not take them on faith: the facts are
+//!   checked for initiation and consecution right alongside the lemmas, so a
+//!   preprocessing soundness bug fails the certificate check loudly.
+//!
+//! The translated lemmas and the facts together (conjoined with the property)
+//! form the candidate invariant `INV` on the original system, and the standard
+//! conditions are discharged with fresh SAT queries: `I ⇒ INV`, `INV ∧ T ⇒
+//! INV'`, and `INV ∧ T ⇒ P'` (plus `I ⇒ P` directly).
+//!
+//! With [`CheckOptions::drat`] set (and the solver's `proof-log` feature
+//! compiled in), every UNSAT answer the checker relies on is itself DRAT
+//! checked by [`crate::check_unsat_proof`], closing the loop: the certificate
+//! check then rests only on the tiny RUP kernel and the CNF encoding.
+
+use plic3::Certificate;
+use plic3_aig::Aig;
+use plic3_logic::Lit;
+use plic3_prep::{Reconstruction, SignalSource};
+use plic3_sat::{SatResult, Solver, StopFlag};
+use plic3_ts::{TransitionSystem, Unroller};
+
+use crate::drat::check_unsat_proof;
+
+/// Why a certificate check did not succeed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CertCheckError {
+    /// The certificate is wrong: a condition is violated (with a description
+    /// of the first violation found), or the certificate cannot even be
+    /// expressed on the original circuit.
+    Invalid(String),
+    /// The check was interrupted (stop flag raised) before reaching a
+    /// verdict. This is **not** evidence against the certificate.
+    Interrupted,
+}
+
+impl std::fmt::Display for CertCheckError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CertCheckError::Invalid(why) => write!(f, "invalid certificate: {why}"),
+            CertCheckError::Interrupted => write!(f, "certificate check interrupted"),
+        }
+    }
+}
+
+impl std::error::Error for CertCheckError {}
+
+/// What a successful certificate check actually did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CertCheckReport {
+    /// Number of lemma clauses translated and checked.
+    pub lemmas: usize,
+    /// Number of preprocessing facts (equivalences, constants) checked.
+    pub facts: usize,
+    /// Total SAT queries discharged (all UNSAT on success).
+    pub queries: usize,
+    /// How many of those UNSAT answers were additionally DRAT checked.
+    /// Zero unless [`CheckOptions::drat`] was set *and* the solver was built
+    /// with the `proof-log` feature.
+    pub drat_checked: usize,
+}
+
+/// Options for a certificate check.
+#[derive(Clone, Debug, Default)]
+pub struct CheckOptions {
+    /// Cooperative cancellation: when raised, the check returns
+    /// [`CertCheckError::Interrupted`] instead of a verdict.
+    pub stop: Option<StopFlag>,
+    /// Also DRAT-check every UNSAT answer the checker relies on. Requires the
+    /// `proof-log` feature of `plic3-sat` to have any effect; silently checks
+    /// nothing (and reports `drat_checked: 0`) otherwise.
+    pub drat: bool,
+}
+
+/// Runs one "must be UNSAT" query, mapping `Sat` to [`CertCheckError::Invalid`]
+/// and `Unknown` (a raised stop flag — the checker sets no budgets) to
+/// [`CertCheckError::Interrupted`], DRAT-checking the answer when asked to.
+fn expect_unsat(
+    solver: &mut Solver,
+    assumptions: &[Lit],
+    what: &str,
+    options: &CheckOptions,
+    report: &mut CertCheckReport,
+) -> Result<(), CertCheckError> {
+    report.queries += 1;
+    match solver.solve(assumptions) {
+        SatResult::Sat => Err(CertCheckError::Invalid(what.to_string())),
+        SatResult::Unknown => Err(CertCheckError::Interrupted),
+        SatResult::Unsat => {
+            if options.drat {
+                if let Some(proof) = solver.proof() {
+                    check_unsat_proof(proof, assumptions).map_err(|e| {
+                        CertCheckError::Invalid(format!("DRAT check failed for \"{what}\": {e}"))
+                    })?;
+                    report.drat_checked += 1;
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+fn configure(solver: &mut Solver, options: &CheckOptions) {
+    if let Some(stop) = &options.stop {
+        solver.set_stop_flag(stop.clone());
+    }
+    if options.drat {
+        solver.enable_proof_tracing();
+    }
+}
+
+/// Checks `cert` — produced on the *simplified* transition system
+/// `simplified_ts` — against the **original** circuit, composing through the
+/// preprocessing reconstruction `recon`.
+///
+/// On success, the certificate proves the original circuit safe: the
+/// translated lemmas plus the preprocessing facts plus the property form an
+/// inductive invariant of `TransitionSystem::from_aig(original)`. The check
+/// shares no state with the engine or the preprocessor; it trusts only the
+/// CNF encoding of the original circuit (and, with [`CheckOptions::drat`],
+/// not even the checker's own SAT solver).
+///
+/// # Errors
+///
+/// [`CertCheckError::Invalid`] if any condition fails — including initiation
+/// or consecution of a *preprocessing fact*, which would indicate an unsound
+/// preprocessing pass rather than a bad engine. [`CertCheckError::Interrupted`]
+/// if the stop flag was raised mid-check.
+pub fn check_certificate_on_original(
+    original: &Aig,
+    recon: &Reconstruction,
+    simplified_ts: &TransitionSystem,
+    cert: &Certificate,
+    options: &CheckOptions,
+) -> Result<CertCheckReport, CertCheckError> {
+    if recon.num_original_inputs() != original.num_inputs()
+        || recon.num_original_latches() != original.num_latches()
+    {
+        return Err(CertCheckError::Invalid(format!(
+            "reconstruction shape ({} inputs, {} latches) does not match the original \
+             circuit ({} inputs, {} latches)",
+            recon.num_original_inputs(),
+            recon.num_original_latches(),
+            original.num_inputs(),
+            original.num_latches()
+        )));
+    }
+
+    let ts_orig = TransitionSystem::from_aig(original);
+
+    // Original AIG latch index -> original transition-system latch index
+    // (None if the original system's cone-of-influence reduction dropped it).
+    let mut ts_latch_of_aig: Vec<Option<usize>> = vec![None; original.num_latches()];
+    for i in 0..ts_orig.num_latches() {
+        ts_latch_of_aig[ts_orig.aig_latch_index(i)] = Some(i);
+    }
+
+    // Simplified AIG latch index -> representative original latch: the first
+    // kept original latch that maps to it and survives in `ts_orig`. Stored as
+    // (original ts latch index, polarity of the kept mapping).
+    let mut rep: Vec<Option<(usize, bool)>> = vec![None; simplified_ts.aig_num_latches()];
+    for (o, &slot) in ts_latch_of_aig.iter().enumerate() {
+        if let SignalSource::Kept { index, negated } = recon.latch_source(o) {
+            if rep[index].is_none() {
+                if let Some(ts_latch) = slot {
+                    rep[index] = Some((ts_latch, negated));
+                }
+            }
+        }
+    }
+
+    // Translate the lemmas onto the representatives. A lemma literal asserts
+    // "simplified latch = b"; with original = simplified XOR negated, that is
+    // "representative = b XOR negated".
+    let mut items: Vec<Vec<Lit>> = Vec::with_capacity(cert.lemmas.len());
+    for (i, clause) in cert.lemmas.iter().enumerate() {
+        let mut translated = Vec::with_capacity(clause.len());
+        for lit in clause.iter() {
+            let Some(simpl_latch) = simplified_ts.latch_index_of(lit.var()) else {
+                return Err(CertCheckError::Invalid(format!(
+                    "lemma {i} ({clause}) mentions a non-state variable"
+                )));
+            };
+            let aig_latch = simplified_ts.aig_latch_index(simpl_latch);
+            let Some((ts_latch, negated)) = rep[aig_latch] else {
+                return Err(CertCheckError::Invalid(format!(
+                    "lemma {i} ({clause}) mentions simplified latch {simpl_latch}, which has \
+                     no kept original latch in the original circuit's cone of influence"
+                )));
+            };
+            translated.push(Lit::new(
+                ts_orig.latch_var(ts_latch),
+                lit.asserted_value() != negated,
+            ));
+        }
+        items.push(translated);
+    }
+
+    // The facts preprocessing claimed about reachable states of the original
+    // circuit: class equivalences between kept latches, and constants.
+    let mut facts: Vec<Vec<Lit>> = Vec::new();
+    for (o, &slot) in ts_latch_of_aig.iter().enumerate() {
+        let Some(ts_latch) = slot else {
+            continue;
+        };
+        let o_var = ts_orig.latch_var(ts_latch);
+        match recon.latch_source(o) {
+            SignalSource::Kept { index, negated } => {
+                let Some((rep_latch, rep_negated)) = rep[index] else {
+                    continue;
+                };
+                if rep_latch == ts_latch {
+                    continue; // the representative defines its class
+                }
+                // o = simplified XOR negated, rep = simplified XOR rep_negated,
+                // hence o = rep XOR flip with flip = negated XOR rep_negated.
+                let flip = negated != rep_negated;
+                let rep_equal = Lit::new(ts_orig.latch_var(rep_latch), !flip);
+                facts.push(vec![Lit::new(o_var, false), rep_equal]);
+                facts.push(vec![Lit::new(o_var, true), !rep_equal]);
+            }
+            SignalSource::Constant(value) => {
+                facts.push(vec![Lit::new(o_var, value)]);
+            }
+            SignalSource::Free => {}
+        }
+    }
+
+    let mut report = CertCheckReport {
+        lemmas: items.len(),
+        facts: facts.len(),
+        queries: 0,
+        drat_checked: 0,
+    };
+
+    // --- Initiation (and I => P), on a single-frame solver. ---
+    let mut init_solver = Solver::new();
+    configure(&mut init_solver, options);
+    init_solver.ensure_vars(ts_orig.num_vars());
+    for clause in ts_orig.trans() {
+        init_solver.add_clause_ref(clause);
+    }
+    for clause in ts_orig.init_cnf() {
+        init_solver.add_clause_ref(clause);
+    }
+    for (kind, clauses) in [("lemma", &items), ("preprocessing fact", &facts)] {
+        for (i, c) in clauses.iter().enumerate() {
+            let negated: Vec<Lit> = c.iter().map(|&l| !l).collect();
+            expect_unsat(
+                &mut init_solver,
+                &negated,
+                &format!("{kind} {i} does not hold in the initial states"),
+                options,
+                &mut report,
+            )?;
+        }
+    }
+    expect_unsat(
+        &mut init_solver,
+        &ts_orig.bad_assumptions(),
+        "an initial state of the original circuit violates the property",
+        options,
+        &mut report,
+    )?;
+
+    // --- Consecution (and INV ∧ T => P'), on a two-frame unrolling. ---
+    let unroller = Unroller::new(&ts_orig);
+    let mut step_solver = Solver::new();
+    configure(&mut step_solver, options);
+    step_solver.ensure_vars(unroller.num_vars_through(1));
+    for clause in unroller.trans_clauses(0) {
+        step_solver.add_clause_ref(&clause);
+    }
+    for clause in unroller.trans_clauses(1) {
+        step_solver.add_clause_ref(&clause);
+    }
+    for c in items.iter().chain(facts.iter()) {
+        step_solver.add_clause(c.iter().map(|&l| unroller.lit_at(0, l)));
+    }
+    let not_bad_now = !unroller.lit_at(0, ts_orig.bad_lit());
+    for (kind, clauses) in [("lemma", &items), ("preprocessing fact", &facts)] {
+        for (i, c) in clauses.iter().enumerate() {
+            let mut assumptions = vec![not_bad_now];
+            assumptions.extend(c.iter().map(|&l| unroller.lit_at(1, !l)));
+            expect_unsat(
+                &mut step_solver,
+                &assumptions,
+                &format!("{kind} {i} is not preserved by the original transition relation"),
+                options,
+                &mut report,
+            )?;
+        }
+    }
+    let mut assumptions = vec![not_bad_now, unroller.lit_at(1, ts_orig.bad_lit())];
+    for &c in ts_orig.constraint_lits() {
+        assumptions.push(unroller.lit_at(1, c));
+    }
+    expect_unsat(
+        &mut step_solver,
+        &assumptions,
+        "the invariant does not imply the property after one step on the original circuit",
+        options,
+        &mut report,
+    )?;
+
+    Ok(report)
+}
+
+/// Checks a certificate produced **without** preprocessing: the engine ran
+/// directly on `TransitionSystem::from_aig(aig)`. A thin wrapper over
+/// [`check_certificate_on_original`] with the identity reconstruction.
+pub fn check_certificate(
+    aig: &Aig,
+    cert: &Certificate,
+    options: &CheckOptions,
+) -> Result<CertCheckReport, CertCheckError> {
+    let ts = TransitionSystem::from_aig(aig);
+    let recon = Reconstruction::identity(aig.num_inputs(), aig.num_latches());
+    check_certificate_on_original(aig, &recon, &ts, cert, options)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plic3::{Config, Ic3};
+    use plic3_aig::AigBuilder;
+    use plic3_logic::Clause;
+
+    fn safe_counter() -> Aig {
+        // A 3-bit counter saturating at 5; bad at 7 (unreachable).
+        let mut b = AigBuilder::new();
+        let state = b.latches(3, Some(false));
+        let at5 = b.vec_equals_const(&state, 5);
+        let inc = b.vec_increment(&state);
+        for (s, n) in state.iter().zip(&inc) {
+            let held = b.ite(at5, *s, *n);
+            b.set_latch_next(*s, held);
+        }
+        let bad = b.vec_equals_const(&state, 7);
+        b.add_bad(bad);
+        b.build()
+    }
+
+    #[test]
+    fn accepts_a_genuine_certificate_without_preprocessing() {
+        let aig = safe_counter();
+        let mut engine = Ic3::from_aig(&aig, Config::ric3_like());
+        let result = engine.check();
+        let cert = result.certificate().expect("safe").clone();
+        let report =
+            check_certificate(&aig, &cert, &CheckOptions::default()).expect("certificate valid");
+        assert_eq!(report.lemmas, cert.lemmas.len());
+        assert_eq!(report.facts, 0, "identity reconstruction has no facts");
+        assert!(
+            report.queries > report.lemmas,
+            "initiation + consecution + property"
+        );
+    }
+
+    #[test]
+    fn rejects_a_tampered_certificate() {
+        let aig = safe_counter();
+        let mut engine = Ic3::from_aig(&aig, Config::ric3_like());
+        let result = engine.check();
+        let mut cert = result.certificate().expect("safe").clone();
+        // Negate every literal of the first lemma: almost surely not inductive
+        // (and if it were, it would fail initiation instead).
+        let tampered: Clause = Clause::from_lits(cert.lemmas[0].iter().map(|l| !l));
+        cert.lemmas[0] = tampered;
+        let err = check_certificate(&aig, &cert, &CheckOptions::default()).unwrap_err();
+        assert!(matches!(err, CertCheckError::Invalid(_)), "{err}");
+    }
+
+    #[test]
+    fn rejects_an_empty_certificate_for_a_non_inductive_property() {
+        let mut b = AigBuilder::new();
+        let state = b.latches(3, Some(false));
+        let inc = b.vec_increment(&state);
+        for (s, n) in state.iter().zip(&inc) {
+            b.set_latch_next(*s, *n);
+        }
+        let bad = b.vec_equals_const(&state, 7);
+        b.add_bad(bad);
+        let aig = b.build();
+        let err =
+            check_certificate(&aig, &Certificate::default(), &CheckOptions::default()).unwrap_err();
+        assert!(matches!(err, CertCheckError::Invalid(ref why) if why.contains("after one step")));
+    }
+
+    #[test]
+    fn a_raised_stop_flag_interrupts_instead_of_failing() {
+        let aig = safe_counter();
+        let mut engine = Ic3::from_aig(&aig, Config::ric3_like());
+        let result = engine.check();
+        let cert = result.certificate().expect("safe").clone();
+        let stop = StopFlag::new();
+        stop.stop();
+        let err = check_certificate(
+            &aig,
+            &cert,
+            &CheckOptions {
+                stop: Some(stop),
+                drat: false,
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err, CertCheckError::Interrupted);
+    }
+
+    #[test]
+    fn rejects_a_lemma_over_non_state_variables() {
+        let aig = safe_counter();
+        let ts = TransitionSystem::from_aig(&aig);
+        let bogus = Certificate {
+            lemmas: vec![Clause::unit(Lit::pos(ts.primed_var(0)))],
+            level: 1,
+        };
+        let err = check_certificate(&aig, &bogus, &CheckOptions::default()).unwrap_err();
+        assert!(matches!(err, CertCheckError::Invalid(ref why) if why.contains("non-state")));
+    }
+
+    #[test]
+    fn drat_option_is_graceful_without_the_feature() {
+        let aig = safe_counter();
+        let mut engine = Ic3::from_aig(&aig, Config::ric3_like());
+        let result = engine.check();
+        let cert = result.certificate().expect("safe").clone();
+        let report = check_certificate(
+            &aig,
+            &cert,
+            &CheckOptions {
+                stop: None,
+                drat: true,
+            },
+        )
+        .expect("certificate valid");
+        if plic3_sat::proof_logging_compiled() {
+            assert_eq!(report.drat_checked, report.queries);
+        } else {
+            assert_eq!(report.drat_checked, 0);
+        }
+    }
+}

@@ -690,6 +690,19 @@ impl Ic3 {
     pub fn check(&mut self) -> CheckResult {
         self.start = Instant::now();
         let result = self.run();
+        if let CheckResult::Safe(cert) = &result {
+            self.stats.certificate_lemmas = cert.lemmas.len() as u64;
+            if self.config.certify {
+                // Self-check before reporting: an invalid certificate is an
+                // engine bug, and panicking loudly (the harness contains it as
+                // a crash) beats handing out an unproven Safe verdict.
+                let certify_started = Instant::now();
+                if let Err(why) = crate::verify_certificate(&self.ts, cert) {
+                    panic!("IC3 produced an invalid certificate: {why}");
+                }
+                self.stats.certify_time = certify_started.elapsed();
+            }
+        }
         self.stats.runtime = self.start.elapsed();
         self.stats.max_level = self.frames.top_level();
         self.stats.sat_conflicts = self.current_conflicts();
@@ -814,6 +827,25 @@ mod tests {
             let cert = result.certificate().expect("token ring is safe");
             verify_certificate(&ts, cert).expect("certificate must verify");
         }
+    }
+
+    #[test]
+    fn certify_mode_self_checks_safe_verdicts() {
+        let aig = token_ring_aig(5);
+        let mut engine = Ic3::from_aig(&aig, Config::ric3_like().with_certify(true));
+        let result = engine.check();
+        let cert = result.certificate().expect("token ring is safe");
+        // check() already ran verify_certificate internally (a failure would
+        // have panicked); the statistics must record the work.
+        assert_eq!(
+            engine.statistics().certificate_lemmas,
+            cert.lemmas.len() as u64
+        );
+        // Certify mode leaves unsafe runs untouched.
+        let unsafe_aig = counter_aig(3, 5, true);
+        let mut engine = Ic3::from_aig(&unsafe_aig, Config::ric3_like().with_certify(true));
+        assert!(engine.check().is_unsafe());
+        assert_eq!(engine.statistics().certificate_lemmas, 0);
     }
 
     #[test]

@@ -71,6 +71,13 @@ pub struct Statistics {
     pub memory_used: u64,
     /// The budget's byte limit, if one was configured (`None` = unlimited).
     pub memory_limit: Option<u64>,
+    /// Number of lemma clauses in the final invariant certificate (zero unless
+    /// the run ended `Safe`).
+    pub certificate_lemmas: u64,
+    /// Wall-clock time of the engine's certificate self-check
+    /// ([`crate::Config::certify`]); zero when the self-check is off or the
+    /// run did not end `Safe`.
+    pub certify_time: Duration,
 }
 
 impl Statistics {
@@ -126,6 +133,14 @@ impl fmt::Display for Statistics {
                 f,
                 "lemmas_exported={} lemmas_imported={} lemmas_import_rejected={}",
                 self.lemmas_exported, self.lemmas_imported, self.lemmas_import_rejected
+            )?;
+        }
+        if self.certificate_lemmas > 0 {
+            writeln!(
+                f,
+                "certificate_lemmas={} certify_time={:.3}s",
+                self.certificate_lemmas,
+                self.certify_time.as_secs_f64()
             )?;
         }
         write!(

@@ -24,10 +24,16 @@
 //!   --no-preprocess   skip the AIG preprocessing pipeline (default: on)
 //!   --memory <MiB>    per-case memory budget; exceeding it ends the case as
 //!                     `memout`, never as an allocator abort (default: none)
+//!   --certify         check every Safe certificate on the original,
+//!                     pre-preprocessing circuit (and, under
+//!                     `--engine portfolio`, vet every worker's proof before
+//!                     it may win the race); check time is reported
 //!   --csv <dir>       also write CSV files into <dir>
 //!
-//! Exit codes: 0 success, 1 wrong verdicts or unverified proofs, 2 usage
-//! error, 3 contained crashes (cases that panicked but were isolated).
+//! Exit codes: 0 success, 1 wrong verdicts, 2 usage error, 3 contained
+//! crashes (cases that panicked but were isolated), 4 certificate-check
+//! failures (a solved case whose proof artifact failed independent
+//! verification). When several apply, the gravest wins: 1 over 4 over 3.
 //! ```
 
 use plic3_benchmarks::Suite;
@@ -46,6 +52,7 @@ struct Options {
     portfolio: bool,
     preprocess: bool,
     max_memory: Option<u64>,
+    certify: bool,
     csv_dir: Option<PathBuf>,
 }
 
@@ -58,6 +65,7 @@ fn parse_args() -> Result<Options, String> {
         portfolio: false,
         preprocess: true,
         max_memory: None,
+        certify: false,
         csv_dir: None,
     };
     let mut args = std::env::args().skip(1).peekable();
@@ -94,6 +102,7 @@ fn parse_args() -> Result<Options, String> {
                 };
             }
             "--no-preprocess" => options.preprocess = false,
+            "--certify" => options.certify = true,
             "--memory" => {
                 let value = args.next().ok_or("--memory needs a value (MiB)")?;
                 let mib: u64 = value.parse().map_err(|_| "invalid --memory value")?;
@@ -194,6 +203,7 @@ fn main() {
         workers: options.jobs,
         preprocess: options.preprocess,
         max_memory: options.max_memory,
+        certify: options.certify,
         ..RunnerConfig::default()
     };
     if options.preprocess {
@@ -213,7 +223,7 @@ fn main() {
         let data = run_portfolio_experiment(&suite, &runner);
         if data.wrong_verdicts() > 0 || data.unverified() > 0 {
             eprintln!(
-                "WARNING: {} wrong verdicts, {} unverified proofs",
+                "WARNING: {} wrong verdicts, {} certificate-check failures",
                 data.wrong_verdicts(),
                 data.unverified()
             );
@@ -233,7 +243,8 @@ fn main() {
             &portfolio_run::to_csv(&data),
         );
         std::process::exit(exit_code(
-            data.wrong_verdicts() + data.unverified(),
+            data.wrong_verdicts(),
+            data.unverified(),
             data.crashed() + worker_crashes,
         ));
     }
@@ -269,12 +280,23 @@ fn main() {
     }
     // Failure taxonomy of the suite: budget trips degrade to `memout`,
     // contained panics to `crashed` — neither is ever a wrong verdict.
+    // Certificate-check failures get their own count (and exit code): a
+    // solved case whose proof artifact fails independent checking must fail
+    // CI loudly even when the verdict itself agrees with the ground truth.
     eprintln!(
-        "failures: {} memout, {} crashed across {} cases",
+        "failures: {} memout, {} crashed, {} certificate-check failures across {} cases",
         data.memouts(),
         data.crashed(),
+        data.cert_failures(),
         data.results.len()
     );
+    if options.certify {
+        eprintln!(
+            "certify: checked every Safe certificate on the original circuit \
+             ({:?} total check time)",
+            data.cert_time()
+        );
+    }
 
     let want = |name: &str| options.command == "all" || options.command == name;
     if want("table1") {
@@ -302,15 +324,22 @@ fn main() {
         println!("{}", fig4::render(&fig));
         write_csv(&options.csv_dir, "fig4.csv", &fig4::to_csv(&fig));
     }
-    std::process::exit(exit_code(data.wrong_verdicts(), data.crashed()));
+    std::process::exit(exit_code(
+        data.wrong_verdicts(),
+        data.cert_failures(),
+        data.crashed(),
+    ));
 }
 
-/// Exit code of a finished run: `1` for wrong verdicts or unverified proofs
-/// (the gravest failure), `3` for contained crashes, `0` otherwise. Usage
-/// errors exit `2` before any case runs.
-fn exit_code(wrong: usize, crashed: usize) -> i32 {
+/// Exit code of a finished run: `1` for wrong verdicts (the gravest failure),
+/// `4` for certificate-check failures (a solved case whose proof artifact
+/// failed independent verification), `3` for contained crashes, `0`
+/// otherwise. Usage errors exit `2` before any case runs.
+fn exit_code(wrong: usize, cert_failed: usize, crashed: usize) -> i32 {
     if wrong > 0 {
         1
+    } else if cert_failed > 0 {
+        4
     } else if crashed > 0 {
         3
     } else {

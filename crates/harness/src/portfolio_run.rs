@@ -11,11 +11,12 @@
 use crate::runner::{panic_message, RunnerConfig, Verdict, Watchdog};
 use plic3::{ResourceBudget, StopFlag, UnknownReason};
 use plic3_benchmarks::{Benchmark, ExpectedResult, Suite};
+use plic3_check::{CertCheckError, CheckOptions};
 use plic3_portfolio::{
     default_workers, verify_safety_proof, ExchangeStats, Portfolio, PortfolioConfig,
     PortfolioResult, WorkerReport,
 };
-use plic3_prep::Preprocessor;
+use plic3_prep::{Preprocessor, Reconstruction};
 use plic3_ts::TransitionSystem;
 use std::fmt::Write as _;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -205,11 +206,18 @@ pub fn run_portfolio_case(
         None => benchmark.ts(),
     };
     let prep_time = prep.as_ref().map_or(Duration::ZERO, |p| p.stats.prep_time);
+    // Kept for the certificate check below: the portfolio takes ownership of
+    // `stop`, and the checker must observe the same watchdog.
+    let case_stop = stop.clone();
     let mut config = PortfolioConfig {
         threads: workers_per_case,
         stop,
         budget,
         faults: runner.faults.clone(),
+        // With --certify the portfolio additionally vets every Safe claim at
+        // winner-claim time, so a poisoned proof is demoted to a worker crash
+        // instead of ever becoming the race verdict.
+        certify: runner.certify,
         ..PortfolioConfig::default()
     };
     config.limits.max_time = Some(runner.timeout.saturating_sub(prep_time));
@@ -218,10 +226,37 @@ pub fn run_portfolio_case(
     let outcome = portfolio.check();
     let runtime = started.elapsed();
     let (verdict, verified) = match &outcome.result {
-        PortfolioResult::Safe(proof) => (
-            Verdict::Safe,
-            verify_safety_proof(portfolio.ts(), proof).is_ok(),
-        ),
+        PortfolioResult::Safe(proof) => {
+            let mut verified = verify_safety_proof(portfolio.ts(), proof).is_ok();
+            // The stronger --certify check replays certificate-backed proofs
+            // on the original, pre-preprocessing circuit (k-induction winners
+            // have no certificate; they are fully re-derived above). A check
+            // the watchdog interrupts stays unproven, not failed.
+            if verified && runner.certify {
+                if let Some(cert) = outcome.result.certificate() {
+                    let identity = Reconstruction::identity(
+                        benchmark.aig().num_inputs(),
+                        benchmark.aig().num_latches(),
+                    );
+                    let recon = prep.as_ref().map_or(&identity, |p| &p.reconstruction);
+                    let options = CheckOptions {
+                        stop: Some(case_stop.clone()),
+                        drat: false,
+                    };
+                    verified = match plic3_check::check_certificate_on_original(
+                        benchmark.aig(),
+                        recon,
+                        portfolio.ts(),
+                        cert,
+                        &options,
+                    ) {
+                        Ok(_) | Err(CertCheckError::Interrupted) => true,
+                        Err(CertCheckError::Invalid(_)) => false,
+                    };
+                }
+            }
+            (Verdict::Safe, verified)
+        }
         PortfolioResult::Unsafe(trace) => {
             let replays = match &prep {
                 Some(p) => p.replay_on_original(portfolio.ts(), trace),

@@ -11,7 +11,8 @@
 
 use plic3::{Config, FaultPlan, Ic3, ResourceBudget, Statistics, StopFlag, UnknownReason};
 use plic3_benchmarks::{Benchmark, ExpectedResult, Suite};
-use plic3_prep::Preprocessor;
+use plic3_check::{CertCheckError, CheckOptions};
+use plic3_prep::{Preprocessor, Reconstruction};
 use plic3_ts::TransitionSystem;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -166,6 +167,14 @@ pub struct RunnerConfig {
     /// default (and always inert without the `fault-injection` cargo
     /// feature); the chaos tests seed it to exercise crash containment.
     pub faults: FaultPlan,
+    /// Check every `Safe` certificate on the **original, pre-preprocessing**
+    /// circuit with [`plic3_check::check_certificate_on_original`] (inverting
+    /// the witness maps), in addition to the always-on engine-side
+    /// verification. The check runs inside the case's watchdogged window and
+    /// its time is reported in [`CaseResult::cert_time`]; a check interrupted
+    /// by the watchdog is *not* counted as a failure. Off by default;
+    /// `plic3-exp --certify` enables it.
+    pub certify: bool,
 }
 
 impl Default for RunnerConfig {
@@ -178,6 +187,7 @@ impl Default for RunnerConfig {
             preprocess: true,
             max_memory: None,
             faults: FaultPlan::inert(),
+            certify: false,
         }
     }
 }
@@ -218,6 +228,9 @@ pub struct CaseResult {
     /// Time spent in the preprocessing pipeline (zero when preprocessing is
     /// disabled), so reports can account for it separately.
     pub prep_time: Duration,
+    /// Time spent checking the certificate on the original circuit (zero
+    /// unless [`RunnerConfig::certify`] is on and the case ended `Safe`).
+    pub cert_time: Duration,
     /// Engine statistics (including the prediction counters).
     pub stats: Statistics,
     /// Stringified panic payload when the case crashed (see
@@ -289,6 +302,24 @@ impl ExperimentData {
             .filter(|r| r.verdict == Verdict::Crashed)
             .count()
     }
+
+    /// Number of solved cases whose proof artifact failed independent
+    /// checking: a `Safe` certificate rejected by the checker (on the
+    /// simplified circuit, or — under [`RunnerConfig::certify`] — on the
+    /// original one) or an `Unsafe` trace that does not replay. Should always
+    /// be zero; `plic3-exp` exits with a dedicated code when it is not.
+    pub fn cert_failures(&self) -> usize {
+        self.results
+            .iter()
+            .filter(|r| r.verdict.solved() && !r.verified)
+            .count()
+    }
+
+    /// Total wall-clock time spent in certificate checks (zero unless
+    /// [`RunnerConfig::certify`] was on).
+    pub fn cert_time(&self) -> Duration {
+        self.results.iter().map(|r| r.cert_time).sum()
+    }
 }
 
 /// Runs a single benchmark under a single configuration with the given budgets.
@@ -324,6 +355,9 @@ fn run_case_with_stop(
     // mid-prep (or the budget tripping there) cancels the pipeline between
     // rounds and the engine then returns `Unknown` immediately — the case as
     // a whole never exceeds `runner.timeout`.
+    // Kept for the certificate check: the engine config takes ownership of
+    // `stop` below, and the checker must observe the same watchdog.
+    let case_stop = stop.clone();
     let prep = runner.preprocess.then(|| {
         Preprocessor::default().run_under(benchmark.aig(), &stop, &budget, &runner.faults)
     });
@@ -342,11 +376,39 @@ fn run_case_with_stop(
     let mut engine = Ic3::new(ts, config);
     let outcome = engine.check();
     let runtime = started.elapsed();
+    let mut cert_time = Duration::ZERO;
     let (verdict, verified) = match &outcome {
-        plic3::CheckResult::Safe(cert) => (
-            Verdict::Safe,
-            plic3::verify_certificate(engine.ts(), cert).is_ok(),
-        ),
+        plic3::CheckResult::Safe(cert) => {
+            let mut verified = plic3::verify_certificate(engine.ts(), cert).is_ok();
+            // The stronger `--certify` check replays the certificate on the
+            // original, pre-preprocessing circuit through the witness maps.
+            // It runs inside the watchdogged window: a check the watchdog
+            // interrupts stays unproven, not failed.
+            if verified && runner.certify {
+                let certify_started = Instant::now();
+                let identity = Reconstruction::identity(
+                    benchmark.aig().num_inputs(),
+                    benchmark.aig().num_latches(),
+                );
+                let recon = prep.as_ref().map_or(&identity, |p| &p.reconstruction);
+                let options = CheckOptions {
+                    stop: Some(case_stop.clone()),
+                    drat: false,
+                };
+                verified = match plic3_check::check_certificate_on_original(
+                    benchmark.aig(),
+                    recon,
+                    engine.ts(),
+                    cert,
+                    &options,
+                ) {
+                    Ok(_) | Err(CertCheckError::Interrupted) => true,
+                    Err(CertCheckError::Invalid(_)) => false,
+                };
+                cert_time = certify_started.elapsed();
+            }
+            (Verdict::Safe, verified)
+        }
         plic3::CheckResult::Unsafe(trace) => {
             // With preprocessing on, the trace lives on the simplified circuit;
             // the witness map must replay it on the *original* one.
@@ -375,6 +437,7 @@ fn run_case_with_stop(
         verified,
         runtime,
         prep_time,
+        cert_time,
         stats: *engine.statistics(),
         crash: None,
     }
@@ -399,6 +462,7 @@ fn crashed_case(
         verified: true,
         runtime,
         prep_time: Duration::ZERO,
+        cert_time: Duration::ZERO,
         stats: Statistics::default(),
         crash: Some(payload),
     }
@@ -652,6 +716,34 @@ mod tests {
             );
             assert_eq!(a.prep_time, Duration::ZERO);
         }
+    }
+
+    #[test]
+    fn certify_mode_checks_safe_cases_on_the_original_circuit() {
+        let runner = RunnerConfig {
+            certify: true,
+            ..tiny_runner()
+        };
+        assert!(runner.preprocess, "the check must invert real witness maps");
+        let mut safe_cases = 0;
+        for benchmark in Suite::quick().iter() {
+            let result = run_case(benchmark, Configuration::Ric3Pl, &runner);
+            assert!(result.correct, "{} got wrong verdict", benchmark.name());
+            if result.verdict.solved() {
+                assert!(result.verified, "{} failed certification", benchmark.name());
+            }
+            if result.verdict == Verdict::Safe {
+                safe_cases += 1;
+                assert!(
+                    result.cert_time > Duration::ZERO,
+                    "{}: the certificate check was not timed",
+                    benchmark.name()
+                );
+            } else {
+                assert_eq!(result.cert_time, Duration::ZERO);
+            }
+        }
+        assert!(safe_cases > 0, "the quick suite has safe instances");
     }
 
     #[test]

@@ -121,6 +121,13 @@ pub struct PortfolioConfig {
     /// consumed by a worker's first run cannot re-fire in its supervised
     /// retry.
     pub faults: FaultPlan,
+    /// Vet every worker's `Safe` claim with [`vet_safety_outcome`] *before*
+    /// it may claim the race: the winning proof is independently re-checked
+    /// ([`verify_safety_proof`]), and a proof that fails is demoted to a
+    /// worker crash — so a poisoned certificate costs the race one worker's
+    /// coverage, but can never become its verdict. Off by default (the
+    /// harness re-checks winners externally instead).
+    pub certify: bool,
 }
 
 impl Default for PortfolioConfig {
@@ -135,6 +142,7 @@ impl Default for PortfolioConfig {
             fallback_bounds: FallbackBounds::default(),
             budget: ResourceBudget::unlimited(),
             faults: FaultPlan::inert(),
+            certify: false,
         }
     }
 }
@@ -294,6 +302,49 @@ pub fn verify_safety_proof(ts: &TransitionSystem, proof: &SafetyProof) -> Result
     }
 }
 
+/// Vets a worker outcome before it may claim a portfolio race.
+///
+/// `Safe` outcomes are re-checked with [`verify_safety_proof`]; a proof that
+/// fails the re-check is demoted to [`WorkerOutcome::Crashed`] with a
+/// `"proof rejected: …"` payload, so a poisoned certificate reads exactly
+/// like a worker crash — it costs the race one worker's coverage, but it can
+/// never flip the verdict. All other outcomes pass through unchanged.
+///
+/// This is the vetting gate [`PortfolioConfig::certify`] installs at
+/// winner-claim time; it is public so test harnesses can feed it adversarial
+/// proofs directly.
+///
+/// # Example
+///
+/// ```
+/// use plic3_portfolio::{vet_safety_outcome, SafetyProof, WorkerOutcome};
+/// use plic3_aig::AigBuilder;
+/// use plic3_ts::TransitionSystem;
+///
+/// // A self-looping bad latch initialised true is NOT safe; a forged
+/// // "0-inductive" claim must not survive vetting.
+/// let mut b = AigBuilder::new();
+/// let s = b.latch(Some(true));
+/// b.set_latch_next(s, s);
+/// b.add_bad(s);
+/// let ts = TransitionSystem::from_aig(&b.build());
+///
+/// let forged = WorkerOutcome::Safe(SafetyProof::KInductive { k: 1 });
+/// let vetted = vet_safety_outcome(&ts, forged);
+/// assert!(matches!(vetted, WorkerOutcome::Crashed { .. }));
+/// ```
+pub fn vet_safety_outcome(ts: &TransitionSystem, outcome: WorkerOutcome) -> WorkerOutcome {
+    match outcome {
+        WorkerOutcome::Safe(proof) => match verify_safety_proof(ts, &proof) {
+            Ok(()) => WorkerOutcome::Safe(proof),
+            Err(why) => WorkerOutcome::Crashed {
+                payload: format!("proof rejected: {why}"),
+            },
+        },
+        other => other,
+    }
+}
+
 /// The in-process portfolio engine. See the [crate docs](crate) for the
 /// design and the determinism contract.
 pub struct Portfolio {
@@ -413,6 +464,7 @@ impl Portfolio {
                     }
                 });
             }
+            let certify = self.config.certify;
             for _ in 0..threads {
                 let stop = stop.clone();
                 let hub = hub.clone();
@@ -501,6 +553,19 @@ impl Portfolio {
                                 }
                             }
                         }
+                    };
+                    // Certificate vetting: with `certify` on, a `Safe` claim
+                    // must survive an independent proof re-check before it
+                    // may touch the winner slot; a rejected proof is recorded
+                    // as a crash of this slot and never decides the race.
+                    let outcome = if certify {
+                        let vetted = vet_safety_outcome(ts, outcome);
+                        if let WorkerOutcome::Crashed { payload } = &vetted {
+                            lock(&reports[index]).crash = Some(payload.clone());
+                        }
+                        vetted
+                    } else {
+                        outcome
                     };
                     {
                         let mut report = lock(&reports[index]);
@@ -792,6 +857,60 @@ mod tests {
             outcome.result,
             PortfolioResult::Unknown(UnknownReason::Timeout)
         );
+    }
+
+    #[test]
+    fn certify_mode_still_reports_safe_for_genuine_proofs() {
+        let aig = token_ring(5);
+        let config = PortfolioConfig {
+            certify: true,
+            ..PortfolioConfig::default()
+        };
+        let mut portfolio = Portfolio::from_aig(&aig, config);
+        let outcome = portfolio.check();
+        let PortfolioResult::Safe(proof) = &outcome.result else {
+            panic!("ring is safe, got {:?}", outcome.result);
+        };
+        verify_safety_proof(portfolio.ts(), proof).expect("the vetted proof re-checks");
+        assert!(outcome.winner.is_some());
+    }
+
+    #[test]
+    fn poisoned_certificates_are_demoted_to_crashes() {
+        use plic3_logic::Clause;
+        // A genuine certificate with one lemma flipped: the exact payload a
+        // compromised worker would race with. The winner-claim vetting gate
+        // must turn it into a crash, never a Safe verdict.
+        let aig = token_ring(5);
+        let ts = TransitionSystem::from_aig(&aig);
+        let mut engine = plic3::Ic3::new(ts.clone(), plic3::Config::ric3_like());
+        let plic3::CheckResult::Safe(mut cert) = engine.check() else {
+            panic!("the ring is safe");
+        };
+        cert.lemmas[0] = Clause::from_lits(cert.lemmas[0].iter().map(|l| !l));
+        let poisoned = WorkerOutcome::Safe(SafetyProof::Invariant(cert));
+        let vetted = vet_safety_outcome(&ts, poisoned);
+        let WorkerOutcome::Crashed { payload } = vetted else {
+            panic!("a poisoned certificate must not survive vetting: {vetted:?}");
+        };
+        assert!(payload.starts_with("proof rejected:"), "{payload}");
+    }
+
+    #[test]
+    fn vetting_passes_genuine_and_inconclusive_outcomes_through() {
+        let aig = token_ring(4);
+        let ts = TransitionSystem::from_aig(&aig);
+        let mut engine = plic3::Ic3::new(ts.clone(), plic3::Config::ric3_like());
+        let plic3::CheckResult::Safe(cert) = engine.check() else {
+            panic!("the ring is safe");
+        };
+        let genuine = WorkerOutcome::Safe(SafetyProof::Invariant(cert));
+        assert!(matches!(
+            vet_safety_outcome(&ts, genuine),
+            WorkerOutcome::Safe(_)
+        ));
+        let unknown = WorkerOutcome::Unknown(UnknownReason::Cancelled);
+        assert_eq!(vet_safety_outcome(&ts, unknown.clone()), unknown);
     }
 
     #[test]

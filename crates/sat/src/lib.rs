@@ -44,6 +44,7 @@ mod budget;
 mod dimacs;
 mod fault;
 mod heap;
+mod proof;
 mod solver;
 mod stats;
 mod stop;
@@ -52,6 +53,7 @@ pub use brute::brute_force_sat;
 pub use budget::ResourceBudget;
 pub use dimacs::{parse_dimacs, ParseDimacsError};
 pub use fault::{FaultKind, FaultPlan, FaultSite, INJECTED_PANIC};
+pub use proof::{proof_logging_compiled, Proof, ProofStep};
 pub use solver::{ModelView, RestartPolicy, SatResult, SearchConfig, Solver, SolverConfig};
 pub use stats::SolverStats;
 pub use stop::StopFlag;

@@ -10,6 +10,7 @@ use crate::arena::{ClauseArena, ClauseRef};
 use crate::budget::ResourceBudget;
 use crate::fault::{FaultKind, FaultPlan, FaultSite, INJECTED_PANIC};
 use crate::heap::ActivityHeap;
+use crate::proof::{Proof, ProofRecorder};
 use crate::stats::SolverStats;
 use crate::stop::StopFlag;
 use plic3_logic::{Clause, Lit, Var};
@@ -334,6 +335,7 @@ pub struct Solver {
     /// Arena bytes currently charged against `budget` (capacity snapshot).
     arena_charged: u64,
     faults: FaultPlan,
+    proof: ProofRecorder,
     stats: SolverStats,
 }
 
@@ -412,6 +414,7 @@ impl Solver {
             budget: ResourceBudget::unlimited(),
             arena_charged: 0,
             faults: FaultPlan::inert(),
+            proof: ProofRecorder::default(),
             stats: SolverStats::new(),
         }
     }
@@ -541,6 +544,24 @@ impl Solver {
         self.faults = faults;
     }
 
+    /// Turns on DRAT proof tracing for this solver. Returns `true` when the
+    /// tracer is compiled in (the `proof-log` feature) and recording actually
+    /// starts; without the feature this is a no-op returning `false`.
+    ///
+    /// Call this on a **fresh** solver, before any clause is added: the proof
+    /// only covers activity after this call, so enabling late yields a trace
+    /// whose input lines are incomplete and uncheckable.
+    pub fn enable_proof_tracing(&mut self) -> bool {
+        self.proof.enable()
+    }
+
+    /// The DRAT proof recorded so far, or `None` when tracing was never
+    /// enabled (or is compiled out). The trace spans all `solve` calls made
+    /// since [`Solver::enable_proof_tracing`].
+    pub fn proof(&self) -> Option<&Proof> {
+        self.proof.proof()
+    }
+
     /// Executes the scheduled fault for `site`, if one is due. Compiles to
     /// nothing when the `fault-injection` feature is off.
     #[inline]
@@ -589,6 +610,15 @@ impl Solver {
         }
         lits.sort_unstable();
         lits.dedup();
+        // Tautologies and clauses already satisfied at the top level are
+        // dropped without ever entering the database, so they are not traced
+        // either: the proof describes exactly the clauses the solver reasons
+        // with.
+        let traced: Option<Vec<Lit>> = if self.proof.is_active() {
+            Some(lits.clone())
+        } else {
+            None
+        };
         // Simplify in place: drop level-0-false literals, detect tautologies
         // and clauses already satisfied at the top level.
         let mut kept = 0;
@@ -617,6 +647,14 @@ impl Solver {
         }
         lits.truncate(kept);
         self.stats.original_clauses += 1;
+        if let Some(original) = traced {
+            self.proof.input(&original);
+            if lits.len() != original.len() {
+                // Level-0-false literals were dropped: the shortened clause is
+                // a derived consequence (RUP via the root-level units).
+                self.proof.add(lits);
+            }
+        }
         match lits.len() {
             0 => {
                 self.ok = false;
@@ -625,6 +663,9 @@ impl Solver {
             1 => {
                 self.unchecked_enqueue(lits[0], NO_REASON);
                 self.ok = self.propagate().is_none();
+                if !self.ok && self.proof.is_active() {
+                    self.proof.add(&[]);
+                }
                 self.ok
             }
             _ => {
@@ -666,8 +707,16 @@ impl Solver {
         if self.clause_is_locked(cref) {
             // Only clauses satisfied at level 0 are deleted while locked; the
             // implied literal keeps its level-0 assignment without a reason.
+            // Such deletions are kept out of the proof (drat-trim convention):
+            // the solver goes on using the implied literal, so the checker
+            // must keep its reason clause available too.
             let first = self.arena.lit(cref, 0);
             self.vardata[first.var().index()].reason = NO_REASON;
+        } else if self.proof.is_active() {
+            let lits: Vec<Lit> = (0..self.arena.len(cref))
+                .map(|i| self.arena.lit(cref, i))
+                .collect();
+            self.proof.delete(&lits);
         }
         self.arena.delete(cref);
     }
@@ -720,6 +769,9 @@ impl Solver {
         }
         if self.propagate().is_some() {
             self.ok = false;
+            if self.proof.is_active() {
+                self.proof.add(&[]);
+            }
             return false;
         }
         if self.trail.len() == self.simplify_mark && self.released_vars.is_empty() {
@@ -1441,6 +1493,11 @@ impl Solver {
                 if self.decision_level() == 0 {
                     self.ok = false;
                     self.conflict_core.clear();
+                    if self.proof.is_active() {
+                        // A root-level conflict: the empty clause is RUP (unit
+                        // propagation over the database alone refutes it).
+                        self.proof.add(&[]);
+                    }
                     return Some(false);
                 }
                 if self.config.search.rephase_interval > 0 && self.trail.len() > self.best_trail {
@@ -1471,6 +1528,11 @@ impl Solver {
                 };
                 self.cancel_until(backtrack_to);
                 let learnt = std::mem::take(&mut self.learnt_scratch);
+                if self.proof.is_active() {
+                    // Every learnt clause (first-UIP, minimized, under chrono
+                    // backtracking or not) is RUP w.r.t. the current database.
+                    self.proof.add(&learnt);
+                }
                 if learnt.len() == 1 {
                     self.unchecked_enqueue(learnt[0], NO_REASON);
                 } else {
@@ -1587,6 +1649,14 @@ impl Solver {
                     break;
                 }
                 Some(false) => {
+                    if self.proof.is_active() && !self.conflict_core.is_empty() {
+                        // Assumption UNSAT: the negated core is RUP — its RUP
+                        // check propagates the core literals and replays the
+                        // final conflict's reason chain, none of which can
+                        // have been deleted (reason clauses are locked).
+                        let negated: Vec<Lit> = self.conflict_core.iter().map(|&l| !l).collect();
+                        self.proof.add(&negated);
+                    }
                     result = SatResult::Unsat;
                     break;
                 }
@@ -1646,6 +1716,39 @@ impl Solver {
     // Restart-boundary inprocessing
     // ------------------------------------------------------------------
 
+    /// Propagation probe at a throwaway decision level: returns `true` when
+    /// asserting the negation of every literal of `lits` runs into a
+    /// conflict, i.e. the clause has the RUP property w.r.t. the current
+    /// database. Leaves the trail exactly as it found it. Only used while
+    /// proof tracing is active.
+    fn probe_is_rup(&mut self, lits: &[Lit]) -> bool {
+        debug_assert_eq!(self.decision_level(), 0);
+        if lits.is_empty() {
+            return false;
+        }
+        self.new_decision_level();
+        let mut conflict = false;
+        for &l in lits {
+            let value = self.lit_value(l);
+            if value == L_TRUE {
+                // The database already propagated `l` under the assumed
+                // prefix: assuming `¬l` is an immediate conflict.
+                conflict = true;
+                break;
+            }
+            if value == L_FALSE {
+                continue;
+            }
+            self.unchecked_enqueue(!l, NO_REASON);
+            if self.propagate().is_some() {
+                conflict = true;
+                break;
+            }
+        }
+        self.cancel_until(0);
+        conflict
+    }
+
     /// Applies the self-subsumption strengthenings recorded by conflict
     /// analysis: each pending `(clause, pivot)` pair is rebuilt without the
     /// pivot (the resolvent that subsumed it was exactly the clause minus the
@@ -1692,6 +1795,19 @@ impl Solver {
             if !found_pivot || satisfied {
                 continue;
             }
+            if self.proof.is_active() {
+                // The subsuming resolvent that justifies this strengthening
+                // was never added to the database, so the shortened clause is
+                // not guaranteed RUP. Certify it with a propagation probe
+                // (the original clause is still attached and may participate);
+                // when the probe cannot, skip the strengthening — it is a
+                // performance hint, not a correctness obligation — so every
+                // traced `Add` line stays checkable.
+                if !self.probe_is_rup(&kept) {
+                    continue;
+                }
+                self.proof.add(&kept);
+            }
             let old_lbd = self.arena.lbd(cref);
             let old_activity = self.arena.activity(cref);
             self.delete_clause(cref);
@@ -1705,6 +1821,9 @@ impl Solver {
                         self.ok = self.propagate().is_none();
                     } else if value == L_FALSE {
                         self.ok = false;
+                    }
+                    if !self.ok && self.proof.is_active() {
+                        self.proof.add(&[]);
                     }
                 }
                 _ => {
@@ -1800,6 +1919,13 @@ impl Solver {
                 continue; // satisfied, or nothing shortened: leave it attached
             }
             let old_activity = self.arena.activity(cref);
+            if self.proof.is_active() {
+                // Vivified replacements are RUP by construction — the probe
+                // above *is* a unit-propagation refutation of their negation
+                // (with the original clause still attached, which is why the
+                // `Add` precedes the `Delete`).
+                self.proof.add(&kept);
+            }
             self.delete_clause(cref);
             self.stats.vivified_clauses += 1;
             match kept.len() {
@@ -1811,6 +1937,9 @@ impl Solver {
                         self.ok = self.propagate().is_none();
                     } else if value == L_FALSE {
                         self.ok = false;
+                    }
+                    if !self.ok && self.proof.is_active() {
+                        self.proof.add(&[]);
                     }
                 }
                 _ => {

@@ -77,11 +77,26 @@ fn load(cnf: &Cnf, search: SearchConfig) -> Solver {
         search,
         ..SolverConfig::default()
     });
+    // With the `proof-log` feature compiled in, every UNSAT answer below is
+    // additionally DRAT-checked (see `drat_check`); without it this is a no-op.
+    solver.enable_proof_tracing();
     solver.ensure_vars(MAX_VAR as usize);
     for clause in cnf {
         solver.add_clause_ref(clause);
     }
     solver
+}
+
+/// DRAT-checks the solver's recorded proof against `assumptions` after an
+/// UNSAT answer. Inert when the `proof-log` feature is compiled out (the
+/// solver records nothing); with the feature on, every UNSAT verdict of the
+/// differential fuzz is backed by a machine-checked refutation.
+fn drat_check(name: &str, solver: &Solver, assumptions: &[Lit], seed: u64) {
+    if let Some(proof) = solver.proof() {
+        if let Err(err) = plic3_check::check_unsat_proof(proof, assumptions) {
+            panic!("[{name}] seed {seed}: DRAT check failed: {err}");
+        }
+    }
 }
 
 /// Solves `cnf` under `assumptions` with the given search variant and
@@ -122,6 +137,7 @@ fn check_one(
             );
         }
     } else {
+        drat_check(name, &solver, assumptions, seed);
         let core: Vec<Lit> = solver.unsat_core().to_vec();
         for l in &core {
             assert!(
@@ -141,6 +157,7 @@ fn check_one(
             SatResult::Unsat,
             "[{name}] seed {seed}: core {core:?} not self-unsatisfiable"
         );
+        drat_check(name, &solver, &core, seed);
     }
     *solver.stats()
 }
@@ -215,6 +232,11 @@ fn incremental_solving_stays_sound_across_variants() {
                 expected,
                 "[{name}] seed {seed}: incremental solve"
             );
+            if got == SatResult::Unsat {
+                // Clauses added *between* solve calls must appear in the trace
+                // too, or this check would reject every incremental proof.
+                drat_check(name, &solver, &assumptions, seed);
+            }
             // A third call with the same assumptions must agree with the
             // second (rephasing and inprocessing may not flip verdicts).
             assert_eq!(got, solver.solve(&assumptions), "[{name}] seed {seed}");
@@ -235,6 +257,7 @@ fn pigeonhole_is_unsat_under_every_variant() {
         let n = 6u32; // pigeons
         let m = 5u32; // holes
         let var = |i: u32, j: u32| Lit::pos(Var::new(i * m + j));
+        solver.enable_proof_tracing();
         solver.ensure_vars((n * m) as usize);
         for i in 0..n {
             solver.add_clause((0..m).map(|j| var(i, j)));
@@ -247,6 +270,9 @@ fn pigeonhole_is_unsat_under_every_variant() {
             }
         }
         assert_eq!(solver.solve(&[]), SatResult::Unsat, "[{name}]");
+        // A conflict-heavy refutation exercises learnt deletions, vivified
+        // replacements and strengthenings in the trace — DRAT-check it.
+        drat_check(name, &solver, &[], u64::from(n * m));
         // Re-solving after the proof must stay Unsat (the clause database is
         // unsat at the top level now).
         assert_eq!(solver.solve(&[]), SatResult::Unsat, "[{name}]");

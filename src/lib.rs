@@ -16,6 +16,8 @@
 //! * [`ic3`] — the IC3/PDR engine with CTP-based lemma prediction (the paper's
 //!   contribution),
 //! * [`bmc`] — bounded model checking and k-induction baselines,
+//! * [`check`] — independent proof checkers: backward DRAT for SAT-core
+//!   refutations, invariant certificates replayed on the original circuit,
 //! * [`portfolio`] — the in-process portfolio engine racing BMC, k-induction
 //!   and diversified IC3 variants with sound lemma sharing,
 //! * [`benchmarks`] — the synthetic HWMCC-style circuit suite,
@@ -44,6 +46,7 @@ pub use plic3 as ic3;
 pub use plic3_aig as aig;
 pub use plic3_benchmarks as benchmarks;
 pub use plic3_bmc as bmc;
+pub use plic3_check as check;
 pub use plic3_harness as harness;
 pub use plic3_logic as logic;
 pub use plic3_portfolio as portfolio;

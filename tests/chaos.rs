@@ -24,17 +24,18 @@
 
 use plic3_repro::aig::{Aig, AigBuilder};
 use plic3_repro::bmc::{Bmc, BmcDepthStatus, KInduction, KInductionResult};
+use plic3_repro::check::{check_certificate, CheckOptions};
 use plic3_repro::harness::{
     run_case, run_experiment_with_workers, Configuration, RunnerConfig, Verdict,
 };
 use plic3_repro::ic3::{
-    verify_certificate, verify_trace, CheckResult, Config, FaultKind, FaultPlan, FaultSite, Ic3,
-    Limits, ResourceBudget, StopFlag, UnknownReason, INJECTED_PANIC,
+    verify_trace, CheckResult, Config, FaultKind, FaultPlan, FaultSite, Ic3, Limits,
+    ResourceBudget, StopFlag, UnknownReason, INJECTED_PANIC,
 };
-use plic3_repro::logic::{Cube, Lit};
+use plic3_repro::logic::{Clause, Cube, Lit};
 use plic3_repro::portfolio::{
-    verify_safety_proof, Portfolio, PortfolioConfig, PortfolioResult, Strategy, WorkerSpec,
-    WorkerStatus,
+    verify_safety_proof, vet_safety_outcome, Portfolio, PortfolioConfig, PortfolioResult,
+    SafetyProof, Strategy, WorkerOutcome, WorkerSpec, WorkerStatus,
 };
 use plic3_repro::ts::TransitionSystem;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -181,7 +182,11 @@ fn chaos_ic3(aig: &Aig, expect_safe: bool, faults: FaultPlan) {
         Err(payload) => assert!(is_injected(&*payload), "IC3 leaked a real panic"),
         Ok(CheckResult::Safe(cert)) => {
             assert!(expect_safe, "bogus IC3 Safe under chaos");
-            verify_certificate(&ts, &cert).expect("chaos certificate verifies");
+            // The *independent* checker (fresh solvers, no fault plan of its
+            // own) re-establishes the certificate on the circuit: a faulted
+            // run either emits no certificate or a fully checkable one.
+            check_certificate(aig, &cert, &CheckOptions::default())
+                .expect("chaos certificate passes the independent checker");
         }
         Ok(CheckResult::Unsafe(trace)) => {
             assert!(!expect_safe, "bogus IC3 Unsafe under chaos");
@@ -263,6 +268,8 @@ fn injected_memout_degrades_to_a_memory_out_verdict() {
         engine.check(),
         CheckResult::Unknown(UnknownReason::MemoryOut)
     );
+    // A faulted, inconclusive run must not leave certificate debris behind.
+    assert_eq!(engine.statistics().certificate_lemmas, 0);
 }
 
 /// An injected spurious cancellation surfaces as `Unknown(Cancelled)`.
@@ -278,6 +285,7 @@ fn injected_cancel_surfaces_as_cancelled() {
         engine.check(),
         CheckResult::Unknown(UnknownReason::Cancelled)
     );
+    assert_eq!(engine.statistics().certificate_lemmas, 0);
 }
 
 /// A worker panicking mid-race never kills `Portfolio::check`: the supervisor
@@ -406,6 +414,64 @@ fn a_supervised_retry_survives_the_consumed_fault() {
     assert!(report.crash.is_some(), "the first crash stays on record");
     assert_eq!(outcome.worker_crashes(), 1);
     assert_eq!(outcome.worker_restarts(), 1);
+}
+
+/// The certificate side of the containment contract, satellite to the proof
+/// pipeline: a poisoned certificate fed into the portfolio's winner-claim
+/// vetting gate ([`PortfolioConfig::certify`] → [`vet_safety_outcome`]) is
+/// demoted to a worker crash, never a `Safe` verdict…
+#[test]
+fn a_poisoned_certificate_is_demoted_at_the_winner_gate() {
+    let aig = token_ring(7);
+    let ts = TransitionSystem::from_aig(&aig);
+    let mut engine = Ic3::from_aig(&aig, Config::ric3_like());
+    let CheckResult::Safe(mut cert) = engine.check() else {
+        panic!("the ring is safe");
+    };
+    // The exact payload a compromised or fault-corrupted worker would race
+    // with: a genuine certificate with one lemma flipped.
+    cert.lemmas[0] = Clause::from_lits(cert.lemmas[0].iter().map(|l| !l));
+    let poisoned = WorkerOutcome::Safe(SafetyProof::Invariant(cert));
+    let WorkerOutcome::Crashed { payload } = vet_safety_outcome(&ts, poisoned) else {
+        panic!("a poisoned certificate must not survive the winner gate");
+    };
+    assert!(payload.starts_with("proof rejected:"), "{payload}");
+}
+
+/// …and a *certified* race under seeded fault schedules still concludes: the
+/// vetting gate rejects corrupted proofs, injected panics are contained, and
+/// whatever `Safe` emerges is independently re-checkable. (An all-workers-
+/// faulted round may end `Unknown`; that is containment, not a failure.)
+#[test]
+fn certified_races_survive_fault_schedules() {
+    silence_injected_panics();
+    let aig = token_ring(7);
+    let mut concluded = 0usize;
+    for round in 0..iterations(10) {
+        let config = PortfolioConfig {
+            certify: true,
+            limits: Limits {
+                max_time: Some(Duration::from_secs(60)),
+                ..Limits::default()
+            },
+            faults: FaultPlan::seeded(0x9e11 + round),
+            ..PortfolioConfig::default()
+        };
+        let mut portfolio = Portfolio::from_aig(&aig, config);
+        let outcome = portfolio.check();
+        match &outcome.result {
+            PortfolioResult::Safe(proof) => {
+                verify_safety_proof(portfolio.ts(), proof).expect("the vetted winner re-checks");
+                concluded += 1;
+            }
+            PortfolioResult::Unsafe(_) => panic!("round {round}: bogus Unsafe under chaos"),
+            PortfolioResult::Unknown(_) => {}
+        }
+    }
+    assert!(
+        concluded >= 1,
+        "every certified round was faulted into Unknown"
+    );
 }
 
 /// A poisoned foreign lemma whose *import* panics the engine: deterministic
