@@ -34,7 +34,7 @@
 //! ```
 
 use plic3_bench::sat_workloads::{
-    implication_chain, incremental_activation_rounds, pigeonhole_with, random_3sat,
+    circuit_miter, implication_chain, incremental_activation_rounds, pigeonhole_with, random_3sat,
 };
 use plic3_bench::timing::{BenchResult, Criterion};
 use plic3_sat::{SatResult, SearchConfig};
@@ -57,6 +57,16 @@ const RAND_SAT: (u32, u32, std::ops::Range<u64>) = (150, 600, 10..16);
 /// UNSAT is the classic workload where glucose-style heuristics do *not*
 /// pay; it is kept in the suite precisely so that regression stays visible.
 const RAND_UNSAT: (u32, u32, std::ops::Range<u64>) = (110, 517, 0..6);
+
+/// Inputs / gates / seed range of the circuit-miter workload: two copies of
+/// one random AND/OR/XOR netlist over shared inputs with outputs asserted
+/// to differ (always unsatisfiable). Tseitin gate variables are
+/// definitional, so this is the workload where CNF inprocessing (variable
+/// elimination, subsumption) pays — the A/B against classic search tracks
+/// exactly that. Sized so each instance runs well past the inprocessing
+/// pacing interval; smaller miters never reach their first elimination
+/// round.
+const MITER: (u32, u32, std::ops::Range<u64>) = (32, 340, 0..4);
 
 /// Variables / clauses / rounds / seed of the IC3-shaped incremental
 /// activation-literal workload (base ratio ≈ 3.6: satisfiable, so the rounds
@@ -205,6 +215,17 @@ fn main() {
             .map(|seed| {
                 let mut solver = random_3sat(uv, uc, seed, search);
                 solver.solve(&[])
+            })
+            .collect::<Vec<_>>()
+    });
+    let (mi, mg, ms) = MITER;
+    bench_pair(&mut criterion, "circuit_miter_32i_340g_x4", move |search| {
+        ms.clone()
+            .map(|seed| {
+                let mut solver = circuit_miter(mi, mg, seed, search);
+                let verdict = solver.solve(&[]);
+                assert_eq!(verdict, SatResult::Unsat, "a miter of equal circuits");
+                verdict
             })
             .collect::<Vec<_>>()
     });

@@ -134,6 +134,83 @@ pub fn incremental_activation_rounds(
     sat_count
 }
 
+/// A circuit miter: two copies of the same seeded random AND/OR/XOR netlist
+/// over shared inputs, Tseitin-encoded, with the two outputs asserted to
+/// differ (unsatisfiable — the copies compute the same function).
+///
+/// This is the canonical workload where CNF *inprocessing* earns its keep:
+/// every gate variable is definitional (its polarity occurrences are the
+/// Tseitin clauses of one gate), so bounded variable elimination can
+/// substitute gates away and subsumption/strengthening collapses the
+/// duplicated structure — none of which plain CDCL search exploits. Each
+/// gate reads the immediately preceding signal plus one random earlier
+/// signal, so the outputs' cone of influence covers the whole netlist
+/// (no dead gates to make the miter trivially easy).
+pub fn circuit_miter(inputs: u32, gates: u32, seed: u64, search: SearchConfig) -> Solver {
+    assert!(inputs >= 2 && gates >= 1);
+    let mut rng = SplitMix64::new(seed);
+    let mut solver = solver_with(search);
+    solver.ensure_vars((inputs + 2 * gates) as usize);
+    // The shared netlist: gate `g` combines the latest signal (chaining the
+    // whole circuit) with a random earlier one, under random polarities.
+    // Signals are numbered inputs-first, then gates in creation order. One
+    // gate in four is an XOR — AND/OR-only miters collapse under unit
+    // propagation too easily to measure search.
+    let netlist: Vec<(u8, u32, bool, u32, bool)> = (0..gates)
+        .map(|g| {
+            let pool = inputs + g;
+            let a = pool - 1;
+            let mut b = rng.below(pool as u64) as u32;
+            while b == a {
+                b = rng.below(pool as u64) as u32;
+            }
+            let op = rng.below(4) as u8; // 0 = XOR, 1 = AND/AND/OR mix below
+            (op, a, rng.bool(), b, rng.bool())
+        })
+        .collect();
+    for copy in 0..2u32 {
+        let signal = |s: u32| {
+            if s < inputs {
+                Var::new(s)
+            } else {
+                Var::new(s + copy * gates)
+            }
+        };
+        for (g, &(op, a, neg_a, b, neg_b)) in netlist.iter().enumerate() {
+            let gate = Lit::pos(Var::new(inputs + copy * gates + g as u32));
+            let la = Lit::new(signal(a), neg_a);
+            let lb = Lit::new(signal(b), neg_b);
+            match op {
+                0 => {
+                    // gate ↔ la ⊕ lb
+                    solver.add_clause([!gate, la, lb]);
+                    solver.add_clause([!gate, !la, !lb]);
+                    solver.add_clause([gate, la, !lb]);
+                    solver.add_clause([gate, !la, lb]);
+                }
+                1 | 2 => {
+                    // gate ↔ la ∧ lb
+                    solver.add_clause([!gate, la]);
+                    solver.add_clause([!gate, lb]);
+                    solver.add_clause([gate, !la, !lb]);
+                }
+                _ => {
+                    // gate ↔ la ∨ lb
+                    solver.add_clause([gate, !la]);
+                    solver.add_clause([gate, !lb]);
+                    solver.add_clause([!gate, la, lb]);
+                }
+            }
+        }
+    }
+    // The miter: the two copies' outputs (their last gates) must differ.
+    let out_a = Lit::pos(Var::new(inputs + gates - 1));
+    let out_b = Lit::pos(Var::new(inputs + 2 * gates - 1));
+    solver.add_clause([out_a, out_b]);
+    solver.add_clause([!out_a, !out_b]);
+    solver
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -163,6 +240,16 @@ mod tests {
             let mut modern = random_3sat(60, 250, seed, SearchConfig::default());
             let mut classic = random_3sat(60, 250, seed, SearchConfig::classic());
             assert_eq!(modern.solve(&[]), classic.solve(&[]), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn circuit_miter_is_unsat_under_both_configs() {
+        for seed in 0..3u64 {
+            let mut modern = circuit_miter(12, 40, seed, SearchConfig::default());
+            assert_eq!(modern.solve(&[]), SatResult::Unsat, "seed {seed}");
+            let mut classic = circuit_miter(12, 40, seed, SearchConfig::classic());
+            assert_eq!(classic.solve(&[]), SatResult::Unsat, "seed {seed}");
         }
     }
 

@@ -3,7 +3,7 @@
 use crate::frames::Frames;
 use crate::{Certificate, CheckResult, Config, Statistics, UnknownReason};
 use plic3_aig::Aig;
-use plic3_logic::{Cube, Lit};
+use plic3_logic::{Cube, Lit, Var};
 use plic3_sat::{FaultKind, FaultSite, SatResult, Solver, SolverConfig, INJECTED_PANIC};
 use plic3_ts::{Trace, TransitionSystem};
 use std::collections::HashMap;
@@ -303,12 +303,25 @@ impl Ic3 {
         }
     }
 
+    /// Freezes every transition-system variable so CNF inprocessing never
+    /// eliminates a variable this engine assumes, reads from models, or adds
+    /// lemmas over. IC3 touches the whole state/input space on every query,
+    /// so up-front freezing (rather than the solver's lazy restore-and-freeze
+    /// trigger) avoids restore churn; activation literals are created later
+    /// and are frozen automatically the first time they are assumed.
+    fn freeze_ts_vars(&self, solver: &mut Solver) {
+        for v in 0..self.ts.num_vars() {
+            solver.set_frozen(Var::new(v as u32), true);
+        }
+    }
+
     fn make_lift_solver(&self) -> Solver {
         let mut solver = Solver::with_config(self.solver_config());
         solver.set_stop_flag(self.config.stop.clone());
         solver.set_budget(self.config.budget.clone());
         solver.set_fault_plan(self.config.faults.clone());
         solver.ensure_vars(self.ts.num_vars());
+        self.freeze_ts_vars(&mut solver);
         for clause in self.ts.trans() {
             solver.add_clause_ref(clause);
         }
@@ -321,6 +334,7 @@ impl Ic3 {
         solver.set_budget(self.config.budget.clone());
         solver.set_fault_plan(self.config.faults.clone());
         solver.ensure_vars(self.ts.num_vars());
+        self.freeze_ts_vars(&mut solver);
         for clause in self.ts.trans() {
             solver.add_clause_ref(clause);
         }

@@ -346,14 +346,22 @@ fn interruption_reason(stop: &StopFlag, budget: &ResourceBudget) -> UnknownReaso
 ///
 /// The workers are additionally diversified on SAT *search* behaviour: the
 /// bulk runs the modern EMA-restart engine, `ic3-mic-pl` falls back to Luby
-/// restarts (better on some proof-heavy instances), and `ic3-seeded-pl` runs
-/// without chronological backtracking and with a faster rephasing cadence, so
-/// the portfolio covers restart/phase strategies as well as generalization
+/// restarts (better on some proof-heavy instances) with CNF inprocessing
+/// disabled (hedging against formulas where elimination overhead loses to
+/// raw search), and `ic3-seeded-pl` runs without chronological backtracking
+/// and with a faster rephasing cadence, so the portfolio covers
+/// restart/phase/inprocessing strategies as well as generalization
 /// strategies.
 pub fn default_workers(seed: u64) -> Vec<WorkerSpec> {
     let modern = SearchConfig::default();
     let luby = SearchConfig {
         restart: RestartPolicy::Luby,
+        // This worker also runs with CNF inprocessing off: elimination is on
+        // by default everywhere else, so one diversified worker hedges
+        // against instances where BVE/subsumption overhead loses to raw
+        // search (and against inprocessing regressions escaping to the whole
+        // portfolio at once).
+        elim: false,
         ..SearchConfig::default()
     };
     let eager_rephase = SearchConfig {
@@ -402,6 +410,24 @@ mod tests {
         let labels: std::collections::HashSet<&str> =
             workers.iter().map(|w| w.label.as_str()).collect();
         assert_eq!(labels.len(), workers.len(), "labels are unique");
+        let elim_off = workers
+            .iter()
+            .filter(|w| {
+                let search = match &w.strategy {
+                    Strategy::Bmc { search } | Strategy::KInduction { search } => *search,
+                    Strategy::Ic3(config) => config.search,
+                };
+                !search.elim
+            })
+            .count();
+        assert!(
+            elim_off >= 1,
+            "at least one worker must run with inprocessing off"
+        );
+        assert!(
+            elim_off < workers.len(),
+            "inprocessing must stay on for the bulk of the portfolio"
+        );
     }
 
     #[test]

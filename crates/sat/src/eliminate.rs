@@ -1,0 +1,906 @@
+//! Incremental-safe CNF inprocessing: bounded variable elimination (BVE),
+//! forward/backward subsumption with self-subsuming strengthening, and
+//! blocked-clause elimination (BCE), all over a per-round occurrence index.
+//!
+//! This is a child module of `solver` (wired with `#[path]` so the file lives
+//! at `src/eliminate.rs`): the elimination passes are `impl Solver` methods
+//! with direct access to the solver's private state.
+//!
+//! # Soundness under incrementality
+//!
+//! Elimination removes clauses from the *solver's* database without removing
+//! them from the *formula the caller cares about*, so three contracts keep the
+//! incremental API honest (see `docs/SAT_SEARCH.md` for the full argument):
+//!
+//! * **Freezing.** A frozen variable is never chosen as a BVE pivot or a BCE
+//!   witness. Every assumption variable of every `solve` call is frozen
+//!   sticky (this is what makes IC3's activation-literal discipline safe:
+//!   activation variables are assumed before elimination can ever observe
+//!   them), and callers can freeze interface variables explicitly with
+//!   [`Solver::set_frozen`]. The freeze bit is cleared when `release_var`'s
+//!   free list hands the variable index back out through `new_var`, so a
+//!   recycled activation variable starts life unfrozen like any fresh one.
+//! * **Elision + reconstruction.** Removed clauses are *elided*: pushed onto
+//!   a reconstruction stack as `(witness, clause)` pairs and deleted from the
+//!   solver without a proof `Delete` line (keeping them in the checker's
+//!   database is always sound — extra clauses only make RUP checks easier —
+//!   and means restoring them later needs no unjustifiable `Add`). After a
+//!   `Sat` answer the model buffer is repaired by walking the stack newest to
+//!   oldest, flipping each entry's witness when its clause is unsatisfied;
+//!   this is the standard RAT-witness reconstruction and yields a model of
+//!   every clause the caller ever added.
+//! * **Restore.** When the caller touches elided state — a new clause or
+//!   assumption over a variable that is a witness of some stack entry, or
+//!   `release_var` on a variable an entry merely mentions — the whole stack
+//!   is restored (re-attached) first and the triggering variables are frozen,
+//!   so the solver never reasons about a formula weaker than the caller's.
+//!
+//! Every derived resolvent and strengthened clause is emitted through the
+//! [`ProofRecorder`](crate::proof) as a plain RUP `Add` *before* its parents
+//! are removed, so `plic3-check`'s backward DRAT checker verifies elimination
+//! exactly like every other inference.
+
+use super::{Solver, L_FALSE, L_TRUE, L_UNDEF, NO_REASON};
+use crate::arena::{ClauseRef, Relocation};
+use plic3_logic::{Lit, Var};
+
+/// Cap on the subsumption queue: learnt clauses attached past the cap are not
+/// enqueued as subsumer candidates (a performance hint, not an obligation).
+const TOUCHED_CAP: usize = 4096;
+
+/// Clauses longer than this are not used as subsumers (long clauses almost
+/// never subsume anything and stamping them is pure cost).
+const SUBSUMER_LEN_CAP: usize = 12;
+
+/// Literal-visit budget of one subsumption pass; bounds the inprocessing cost
+/// to a fraction of the search effort between two elimination rounds.
+const SUBSUME_LIT_BUDGET: u64 = 120_000;
+
+/// A variable with more than this many occurrences of either polarity is
+/// never tried as a BVE pivot.
+const BVE_SIDE_CAP: usize = 16;
+
+/// Bound on `pos × neg` occurrence products tried by BVE.
+const BVE_PRODUCT_CAP: usize = 96;
+
+/// A BVE resolvent longer than this vetoes the elimination of its pivot.
+const BVE_RESOLVENT_LIT_CAP: usize = 24;
+
+/// Original clauses inspected per blocked-clause-elimination round.
+const BCE_CLAUSES_PER_ROUND: usize = 192;
+
+/// BCE only checks blocking literals whose negation has at most this many
+/// occurrences.
+const BCE_OCC_CAP: usize = 10;
+
+/// One elided clause: flipping `witness` satisfies `lits` without breaking
+/// any clause that was still in the database when the entry was pushed (the
+/// RAT-witness property BVE and BCE both establish).
+struct ReconEntry {
+    witness: Lit,
+    /// The clause verbatim as it was elided, sorted. Level-0-false literals
+    /// are kept on purpose: no `Delete` is logged at elision, so the DRAT
+    /// checker's database still holds this exact form, and the restore path
+    /// (`reattach_restored`) derives any shortening from it with an explicit
+    /// `Add`. Storing a pre-shortened clause instead would let a later
+    /// `Delete` reference a form the checker never saw.
+    lits: Vec<Lit>,
+}
+
+/// Elimination state owned by a [`Solver`].
+pub(super) struct Eliminator {
+    /// Occurrence lists by literal code, rebuilt each round (original and
+    /// learnt clauses; consumers filter by `is_learnt` where it matters).
+    /// Cleared outside rounds so stale [`ClauseRef`]s never cross a GC.
+    occurs: Vec<Vec<ClauseRef>>,
+    /// Subsumer queue: clauses attached since the last round.
+    touched: Vec<ClauseRef>,
+    /// Whether the one-time seeding of `touched` with every original clause
+    /// has happened (first round only).
+    seeded: bool,
+    /// Frozen variables: never a BVE pivot or BCE witness. Sticky; cleared on
+    /// free-list recycling.
+    frozen: Vec<bool>,
+    /// Variables eliminated by BVE (skipped by decisions; restore clears).
+    eliminated: Vec<bool>,
+    /// Per variable: number of stack entries whose witness is on it.
+    witness_count: Vec<u32>,
+    /// Per variable: number of stack entry literals over it (witnesses
+    /// included). Guards `release_var` against recycling a mentioned index.
+    mentions: Vec<u32>,
+    /// The reconstruction stack, oldest first.
+    stack: Vec<ReconEntry>,
+    /// Rotating cursor of the BCE pass over the original clause list.
+    bce_head: usize,
+    /// Global conflict count at the last elimination round (pacing).
+    pub(super) last_elim_conflicts: u64,
+    /// Per-literal stamps for subset / tautology tests.
+    lit_stamp: Vec<u64>,
+    stamp: u64,
+}
+
+impl Eliminator {
+    pub(super) fn new() -> Self {
+        Eliminator {
+            occurs: Vec::new(),
+            touched: Vec::new(),
+            seeded: false,
+            frozen: Vec::new(),
+            eliminated: Vec::new(),
+            witness_count: Vec::new(),
+            mentions: Vec::new(),
+            stack: Vec::new(),
+            bce_head: 0,
+            last_elim_conflicts: 0,
+            lit_stamp: Vec::new(),
+            stamp: 0,
+        }
+    }
+
+    /// Grows the per-variable state alongside `Solver::fresh_var`.
+    pub(super) fn on_fresh_var(&mut self) {
+        self.frozen.push(false);
+        self.eliminated.push(false);
+        self.witness_count.push(0);
+        self.mentions.push(0);
+    }
+
+    /// `true` while any elided clause is on the reconstruction stack.
+    #[inline]
+    pub(super) fn has_entries(&self) -> bool {
+        !self.stack.is_empty()
+    }
+
+    /// `true` if some stack entry's witness lives on `v` (a new clause or
+    /// assumption over `v` must restore first).
+    #[inline]
+    pub(super) fn is_witness_var(&self, v: usize) -> bool {
+        self.witness_count[v] > 0
+    }
+
+    /// `true` if some stack entry mentions `v` at all (recycling `v` must
+    /// restore first).
+    #[inline]
+    pub(super) fn is_mentioned_var(&self, v: usize) -> bool {
+        self.mentions[v] > 0
+    }
+
+    /// Clears the freeze bit when the free list recycles a variable.
+    pub(super) fn on_recycle(&mut self, v: usize) {
+        debug_assert!(!self.eliminated[v], "recycling an eliminated variable");
+        debug_assert_eq!(self.mentions[v], 0, "recycling a mentioned variable");
+        self.frozen[v] = false;
+    }
+
+    /// Queues a freshly attached clause as a subsumer candidate.
+    #[inline]
+    pub(super) fn touch(&mut self, cref: ClauseRef) {
+        if self.touched.len() < TOUCHED_CAP {
+            self.touched.push(cref);
+        }
+    }
+
+    /// Drops deleted queue entries and relocates the rest across a GC.
+    /// (`occurs` is only populated inside a round and no GC runs there, so
+    /// the queue is the only `ClauseRef` store that crosses collections.)
+    pub(super) fn relocate(&mut self, reloc: &Relocation) {
+        self.touched.retain(|&c| reloc.survives(c));
+        for c in self.touched.iter_mut() {
+            *c = reloc.map(*c);
+        }
+    }
+
+    /// `true` if the variable with dense index `v` is currently eliminated.
+    #[inline]
+    pub(super) fn is_eliminated_idx(&self, v: usize) -> bool {
+        self.eliminated[v]
+    }
+}
+
+impl Solver {
+    /// Freezes (or thaws) a variable for CNF inprocessing: a frozen variable
+    /// is never eliminated by bounded variable elimination and never used as
+    /// a blocked-clause witness, so its model value and its role in future
+    /// clauses/assumptions are exactly as if inprocessing were off.
+    ///
+    /// Assumption variables are frozen automatically on every
+    /// [`Solver::solve`] call; explicit freezing is for interface variables
+    /// the caller reads from models or plans to constrain later (IC3 freezes
+    /// every state, prime, and input variable). Freezing is sticky until the
+    /// variable is retired through [`Solver::release_var`] and recycled by
+    /// [`Solver::new_var`].
+    pub fn set_frozen(&mut self, var: Var, frozen: bool) {
+        self.ensure_var(var);
+        let v = var.index();
+        if frozen && self.elim.is_witness_var(v) {
+            self.restore_eliminated();
+        }
+        self.elim.frozen[v] = frozen;
+    }
+
+    /// `true` if `var` is currently eliminated (its clauses are elided; the
+    /// solver will restore them transparently if the variable is mentioned by
+    /// a new clause or assumption).
+    pub fn is_eliminated(&self, var: Var) -> bool {
+        self.elim
+            .eliminated
+            .get(var.index())
+            .copied()
+            .unwrap_or(false)
+    }
+
+    /// Freezes a variable by dense index without the restore check (the
+    /// caller restores explicitly; used by the `add_clause` trigger path).
+    pub(super) fn set_frozen_raw(&mut self, v: usize) {
+        self.elim.frozen[v] = true;
+    }
+
+    /// Freezes every assumption variable of the current `solve` call and
+    /// restores elided clauses whose witnesses the assumptions touch (a
+    /// repair flip on a witness could otherwise violate an assumption).
+    pub(super) fn freeze_assumptions(&mut self) {
+        let mut restore = false;
+        for i in 0..self.assumptions.len() {
+            let v = self.assumptions[i].var().index();
+            self.elim.frozen[v] = true;
+            restore |= self.elim.is_witness_var(v);
+        }
+        if restore {
+            self.restore_eliminated();
+        }
+    }
+
+    /// Restores every elided clause: re-attaches the reconstruction stack and
+    /// un-eliminates every variable. Runs at decision level 0; rare by
+    /// construction (triggers freeze the variables involved, so the same
+    /// variable never thrashes).
+    pub(super) fn restore_eliminated(&mut self) {
+        if !self.elim.has_entries() {
+            return;
+        }
+        debug_assert_eq!(self.decision_level(), 0);
+        let stack = std::mem::take(&mut self.elim.stack);
+        self.elim.witness_count.fill(0);
+        self.elim.mentions.fill(0);
+        for v in 0..self.elim.eliminated.len() {
+            if self.elim.eliminated[v] {
+                self.elim.eliminated[v] = false;
+                // The variable is decidable again; put it back in the heap.
+                self.order_heap.insert(v, &self.activity);
+            }
+        }
+        for entry in &stack {
+            self.stats.restored_clauses += 1;
+            self.reattach_restored(&entry.lits);
+        }
+    }
+
+    /// Re-attaches one restored clause. Its DRAT `Delete` was skipped at
+    /// elision time, so the checker still holds it: no `Input` line is
+    /// emitted, and only a shortening (by newer level-0 units) needs an
+    /// `Add` (RUP via those units and the original).
+    fn reattach_restored(&mut self, lits: &[Lit]) {
+        if !self.ok {
+            return;
+        }
+        debug_assert_eq!(self.decision_level(), 0);
+        let mut kept: Vec<Lit> = Vec::with_capacity(lits.len());
+        for &l in lits {
+            match self.lit_value(l) {
+                L_TRUE => return, // satisfied at level 0: stays elided-as-satisfied
+                v if v >= L_UNDEF => kept.push(l),
+                _ => {} // false at level 0: drop
+            }
+        }
+        if self.proof.is_active() && kept.len() != lits.len() && !kept.is_empty() {
+            self.proof.add(&kept);
+        }
+        match kept.len() {
+            0 => {
+                self.ok = false;
+                if self.proof.is_active() {
+                    self.proof.add(&[]);
+                }
+            }
+            1 => {
+                self.unchecked_enqueue(kept[0], NO_REASON);
+                self.ok = self.propagate().is_none();
+                if !self.ok && self.proof.is_active() {
+                    self.proof.add(&[]);
+                }
+            }
+            _ => {
+                let cref = self.attach_clause(&kept, false);
+                self.clauses.push(cref);
+            }
+        }
+    }
+
+    /// Repairs the model buffer after a `Sat` answer: walks the
+    /// reconstruction stack newest to oldest and flips each entry's witness
+    /// when its clause is unsatisfied. By the RAT-witness property each flip
+    /// preserves every clause that was still attached when the entry was
+    /// pushed, so the walk ends on a model of every clause the caller added.
+    ///
+    /// The witness argument requires the assignment to be *total* over every
+    /// variable the stack mentions: a tautological resolvent is skipped
+    /// during elimination precisely because one of its two clashing literals
+    /// must be true, and with the clashing variable unset neither is — a
+    /// positive- and a negative-witness entry for the same pivot could then
+    /// flip it back and forth and leave one of them falsified. So the walk
+    /// first totalizes the model over stack variables (eliminated variables
+    /// are unassigned by search; `false` is as good a completion as any).
+    pub(super) fn repair_model(&mut self) {
+        let stack = &self.elim.stack;
+        let model = &mut self.model;
+        for entry in stack.iter() {
+            for l in entry.lits.iter().chain(std::iter::once(&entry.witness)) {
+                let slot = &mut model[l.var().index()];
+                if *slot >= L_UNDEF {
+                    *slot = L_FALSE;
+                }
+            }
+        }
+        for entry in stack.iter().rev() {
+            let satisfied = entry
+                .lits
+                .iter()
+                .any(|&l| model[l.var().index()] ^ l.is_neg() as u8 == L_TRUE);
+            if !satisfied {
+                let w = entry.witness;
+                model[w.var().index()] = w.is_neg() as u8;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // The elimination round
+    // ------------------------------------------------------------------
+
+    /// One bounded elimination round at a restart boundary: forced top-level
+    /// simplification, occurrence-index build, subsumption/strengthening,
+    /// BVE, BCE, and a sweep of learnt clauses over freshly eliminated
+    /// variables.
+    pub(super) fn eliminate_round(&mut self) {
+        debug_assert_eq!(self.decision_level(), 0);
+        if !self.ok || !self.simplify_inner(true) {
+            return;
+        }
+        self.build_occurrences();
+        self.subsume_pass();
+        let mut swept = false;
+        if self.ok {
+            swept = self.bve_pass();
+        }
+        if self.ok {
+            self.bce_pass();
+        }
+        if self.ok && swept {
+            self.sweep_eliminated_learnts();
+        }
+        for list in self.elim.occurs.iter_mut() {
+            list.clear();
+        }
+        self.check_garbage();
+    }
+
+    fn build_occurrences(&mut self) {
+        let codes = 2 * self.num_vars();
+        if self.elim.occurs.len() < codes {
+            self.elim.occurs.resize_with(codes, Vec::new);
+        }
+        if self.elim.lit_stamp.len() < codes {
+            self.elim.lit_stamp.resize(codes, 0);
+        }
+        for list in self.elim.occurs.iter_mut() {
+            list.clear();
+        }
+        for i in 0..self.clauses.len() {
+            let cref = self.clauses[i];
+            if !self.arena.is_deleted(cref) {
+                self.occ_insert(cref);
+            }
+        }
+        for i in 0..self.learnts.len() {
+            let cref = self.learnts[i];
+            if !self.arena.is_deleted(cref) {
+                self.occ_insert(cref);
+            }
+        }
+    }
+
+    fn occ_insert(&mut self, cref: ClauseRef) {
+        for k in 0..self.arena.len(cref) {
+            let code = self.arena.lit(cref, k).code();
+            self.elim.occurs[code].push(cref);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Subsumption and self-subsuming strengthening
+    // ------------------------------------------------------------------
+
+    /// Backward subsumption over the occurrence index: every queued clause
+    /// (learnt clauses attached since the last round, resolvents, and — once,
+    /// on the first round — every original clause) is used as a subsumer.
+    /// Full subset matches delete the subsumed clause; off-by-one-negation
+    /// matches strengthen it (self-subsumption). A learnt clause that
+    /// subsumes an original is promoted to irredundant first, so database
+    /// reduction can never drop the only clause carrying a constraint.
+    fn subsume_pass(&mut self) {
+        let mut queue = std::mem::take(&mut self.elim.touched);
+        if !self.elim.seeded {
+            self.elim.seeded = true;
+            let arena = &self.arena;
+            queue.extend(self.clauses.iter().filter(|&&c| !arena.is_deleted(c)));
+        }
+        let mut budget = SUBSUME_LIT_BUDGET;
+        let mut sub_lits: Vec<Lit> = Vec::new();
+        let mut cands: Vec<ClauseRef> = Vec::new();
+        let mut promoted = false;
+        let mut qi = 0;
+        while qi < queue.len() {
+            let c = queue[qi];
+            qi += 1;
+            if budget == 0 || !self.ok {
+                break;
+            }
+            if self.arena.is_deleted(c) {
+                continue;
+            }
+            let len = self.arena.len(c);
+            if !(2..=SUBSUMER_LEN_CAP).contains(&len) {
+                continue;
+            }
+            sub_lits.clear();
+            sub_lits.extend((0..len).map(|k| self.arena.lit(c, k)));
+            if sub_lits.iter().any(|&l| self.lit_value(l) == L_TRUE) {
+                continue; // satisfied since the round started
+            }
+            self.elim.stamp += 1;
+            let st = self.elim.stamp;
+            for &l in &sub_lits {
+                self.elim.lit_stamp[l.code()] = st;
+            }
+            // Scan the shortest occurrence list among c's literals.
+            let l_min = *sub_lits
+                .iter()
+                .min_by_key(|l| self.elim.occurs[l.code()].len())
+                .expect("non-empty subsumer");
+            cands.clear();
+            cands.extend_from_slice(&self.elim.occurs[l_min.code()]);
+            for &d in &cands {
+                if budget == 0 || !self.ok {
+                    break;
+                }
+                if d == c || self.arena.is_deleted(d) || self.arena.is_deleted(c) {
+                    continue;
+                }
+                let dlen = self.arena.len(d);
+                if dlen < len {
+                    continue;
+                }
+                budget = budget.saturating_sub(dlen as u64);
+                let mut marked = 0usize;
+                let mut negated: Option<Lit> = None;
+                let mut negs = 0usize;
+                for k in 0..dlen {
+                    let q = self.arena.lit(d, k);
+                    if self.elim.lit_stamp[q.code()] == st {
+                        marked += 1;
+                    } else if self.elim.lit_stamp[(!q).code()] == st {
+                        negs += 1;
+                        negated = Some(q);
+                    }
+                }
+                if marked == len {
+                    // c subsumes d. If a learnt subsumes an original, the
+                    // learnt must become irredundant before the original goes.
+                    if !self.arena.is_learnt(d) && self.arena.is_learnt(c) {
+                        self.arena.clear_learnt(c);
+                        self.clauses.push(c);
+                        promoted = true;
+                    }
+                    self.delete_clause(d);
+                    self.stats.subsumed_clauses += 1;
+                } else if marked + 1 == len && negs == 1 {
+                    // Self-subsumption: the resolvent of c and d on `negated`
+                    // is d minus `negated`, so d can be strengthened.
+                    let new_cref = self.strengthen_clause(d, negated.expect("negs == 1"));
+                    if let Some(nc) = new_cref {
+                        self.occ_insert(nc);
+                        if queue.len() < TOUCHED_CAP {
+                            queue.push(nc);
+                        }
+                    }
+                }
+            }
+        }
+        if promoted {
+            let arena = &self.arena;
+            self.learnts
+                .retain(|&c| !arena.is_deleted(c) && arena.is_learnt(c));
+            self.stats.learnt_clauses = self.learnts.len() as u64;
+        }
+        queue.clear();
+        self.elim.touched = queue;
+    }
+
+    /// Removes `drop` from the attached clause `cref` (the strengthened
+    /// clause is RUP while both resolution parents are attached, so the `Add`
+    /// precedes the `Delete`). Returns the replacement's reference when the
+    /// result is still a clause of length ≥ 2.
+    fn strengthen_clause(&mut self, cref: ClauseRef, drop: Lit) -> Option<ClauseRef> {
+        let mut kept: Vec<Lit> = Vec::new();
+        for k in 0..self.arena.len(cref) {
+            let l = self.arena.lit(cref, k);
+            if l == drop {
+                continue;
+            }
+            match self.lit_value(l) {
+                L_TRUE => return None, // satisfied: leave it for the next sweep
+                v if v >= L_UNDEF => kept.push(l),
+                _ => {} // false at level 0: drop alongside the pivot
+            }
+        }
+        if self.proof.is_active() && !kept.is_empty() {
+            self.proof.add(&kept);
+        }
+        let was_learnt = self.arena.is_learnt(cref);
+        let old_lbd = self.arena.lbd(cref);
+        let old_activity = self.arena.activity(cref);
+        self.delete_clause(cref);
+        self.stats.strengthened_clauses += 1;
+        match kept.len() {
+            0 => {
+                self.ok = false;
+                if self.proof.is_active() {
+                    self.proof.add(&[]);
+                }
+                None
+            }
+            1 => {
+                if self.lit_value(kept[0]) >= L_UNDEF {
+                    self.unchecked_enqueue(kept[0], NO_REASON);
+                    self.ok = self.propagate().is_none();
+                } else {
+                    self.ok = false;
+                }
+                if !self.ok && self.proof.is_active() {
+                    self.proof.add(&[]);
+                }
+                None
+            }
+            _ => {
+                let nc = self.attach_clause(&kept, was_learnt);
+                if was_learnt {
+                    self.arena.set_lbd(nc, old_lbd.min(kept.len() as u32));
+                    self.arena.set_activity(nc, old_activity);
+                } else {
+                    self.clauses.push(nc);
+                }
+                Some(nc)
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Bounded variable elimination
+    // ------------------------------------------------------------------
+
+    /// SatELite-style bounded variable elimination: a pivot is eliminated
+    /// when its non-tautological resolvent set is no larger than the clauses
+    /// it replaces (and no resolvent exceeds the literal cap). Resolvents are
+    /// added (and DRAT-logged) before the parents are elided, so every `Add`
+    /// is plain RUP. Returns `true` when at least one variable was
+    /// eliminated (the learnt sweep is then due).
+    fn bve_pass(&mut self) -> bool {
+        let mut any = false;
+        let mut pos: Vec<ClauseRef> = Vec::new();
+        let mut neg: Vec<ClauseRef> = Vec::new();
+        let mut resolvents: Vec<Vec<Lit>> = Vec::new();
+        'vars: for vi in 0..self.num_vars() {
+            if !self.ok {
+                break;
+            }
+            if self.elim.frozen[vi]
+                || self.elim.eliminated[vi]
+                || self.free_mark[vi]
+                || self.assigns[vi] < L_UNDEF
+            {
+                continue;
+            }
+            let p = Lit::pos(Var::new(vi as u32));
+            self.gather_occurrences(p, &mut pos);
+            self.gather_occurrences(!p, &mut neg);
+            if pos.is_empty() && neg.is_empty() {
+                continue;
+            }
+            if pos.len() > BVE_SIDE_CAP
+                || neg.len() > BVE_SIDE_CAP
+                || pos.len() * neg.len() > BVE_PRODUCT_CAP
+            {
+                continue;
+            }
+            let limit = pos.len() + neg.len();
+            resolvents.clear();
+            for &cp in &pos {
+                for &cn in &neg {
+                    if let Some(r) = self.resolve_on(cp, cn, p) {
+                        if r.len() > BVE_RESOLVENT_LIT_CAP {
+                            continue 'vars;
+                        }
+                        resolvents.push(r);
+                        if resolvents.len() > limit {
+                            continue 'vars;
+                        }
+                    }
+                }
+            }
+            // Commit: add every resolvent, then elide every parent.
+            self.stats.eliminated_vars += 1;
+            any = true;
+            for r in resolvents.drain(..) {
+                if !self.ok {
+                    break;
+                }
+                self.commit_resolvent(&r);
+            }
+            if !self.ok {
+                break;
+            }
+            for &c in pos.iter().chain(neg.iter()) {
+                self.elide_clause(c, p);
+            }
+            self.elim.eliminated[vi] = true;
+        }
+        any
+    }
+
+    /// Fills `out` with the live, unsatisfied, non-learnt clauses containing
+    /// `lit` (the BVE/BCE environment; satisfied clauses are implied by
+    /// top-level units and can be ignored wholesale).
+    fn gather_occurrences(&self, lit: Lit, out: &mut Vec<ClauseRef>) {
+        out.clear();
+        for &c in &self.elim.occurs[lit.code()] {
+            if self.arena.is_deleted(c) || self.arena.is_learnt(c) {
+                continue;
+            }
+            if self.clause_is_satisfied(c) {
+                continue;
+            }
+            out.push(c);
+        }
+    }
+
+    /// The resolvent of `cp` (contains `pivot`) and `cn` (contains `!pivot`),
+    /// with level-0-false literals dropped. `None` for tautologies and
+    /// resolvents satisfied at the top level (both are redundant).
+    fn resolve_on(&mut self, cp: ClauseRef, cn: ClauseRef, pivot: Lit) -> Option<Vec<Lit>> {
+        self.elim.stamp += 1;
+        let st = self.elim.stamp;
+        let mut r: Vec<Lit> = Vec::new();
+        for k in 0..self.arena.len(cp) {
+            let l = self.arena.lit(cp, k);
+            if l == pivot {
+                continue;
+            }
+            match self.lit_value(l) {
+                L_TRUE => return None,
+                v if v >= L_UNDEF => {
+                    self.elim.lit_stamp[l.code()] = st;
+                    r.push(l);
+                }
+                _ => {}
+            }
+        }
+        for k in 0..self.arena.len(cn) {
+            let l = self.arena.lit(cn, k);
+            if l == !pivot {
+                continue;
+            }
+            match self.lit_value(l) {
+                L_TRUE => return None,
+                v if v >= L_UNDEF => {
+                    if self.elim.lit_stamp[(!l).code()] == st {
+                        return None; // tautological resolvent
+                    }
+                    if self.elim.lit_stamp[l.code()] != st {
+                        self.elim.lit_stamp[l.code()] = st;
+                        r.push(l);
+                    }
+                }
+                _ => {}
+            }
+        }
+        Some(r)
+    }
+
+    /// Adds one BVE resolvent to the database (and the proof): the parents
+    /// are still attached, so the resolvent is RUP.
+    fn commit_resolvent(&mut self, r: &[Lit]) {
+        // A unit enqueued by an earlier resolvent may have assigned one of
+        // our literals since construction; re-filter.
+        let mut kept: Vec<Lit> = Vec::with_capacity(r.len());
+        for &l in r {
+            match self.lit_value(l) {
+                L_TRUE => return, // already satisfied at level 0
+                v if v >= L_UNDEF => kept.push(l),
+                _ => {}
+            }
+        }
+        if self.proof.is_active() {
+            self.proof.add(&kept);
+        }
+        match kept.len() {
+            0 => self.ok = false,
+            1 => {
+                self.unchecked_enqueue(kept[0], NO_REASON);
+                self.ok = self.propagate().is_none();
+                if !self.ok && self.proof.is_active() {
+                    self.proof.add(&[]);
+                }
+            }
+            _ => {
+                let cref = self.attach_clause(&kept, false);
+                self.clauses.push(cref);
+                self.stats.elim_resolvents += 1;
+                self.occ_insert(cref);
+                self.elim.touch(cref);
+            }
+        }
+    }
+
+    /// Elides one clause onto the reconstruction stack with `pivot`'s literal
+    /// in the clause as witness. No proof `Delete` (see the module docs).
+    ///
+    /// The entry stores the clause *verbatim* — level-0-false literals
+    /// included — so a later restore re-derives exactly the clause the DRAT
+    /// checker still has in its database (restore emits an `Add` only when it
+    /// genuinely shortens; a pre-shortened entry would make a later `Delete`
+    /// of the restored clause dangle). The dead literals are harmless during
+    /// model repair: level-0 assignments persist into the model, so they
+    /// evaluate false there just as they did here.
+    fn elide_clause(&mut self, cref: ClauseRef, pivot: Lit) {
+        if self.arena.is_deleted(cref) || self.clause_is_satisfied(cref) {
+            return;
+        }
+        debug_assert!(!self.clause_is_locked(cref));
+        let mut lits: Vec<Lit> = Vec::with_capacity(self.arena.len(cref));
+        let mut witness = pivot;
+        for k in 0..self.arena.len(cref) {
+            let l = self.arena.lit(cref, k);
+            if l.var() == pivot.var() {
+                witness = l;
+            }
+            lits.push(l);
+        }
+        lits.sort_unstable();
+        self.elim.witness_count[witness.var().index()] += 1;
+        for &l in &lits {
+            self.elim.mentions[l.var().index()] += 1;
+        }
+        self.elim.stack.push(ReconEntry { witness, lits });
+        self.arena.delete(cref);
+    }
+
+    // ------------------------------------------------------------------
+    // Blocked-clause elimination
+    // ------------------------------------------------------------------
+
+    /// Budgeted blocked-clause elimination with a rotating cursor: an
+    /// original clause C is elided with witness l ∈ C when every live
+    /// original clause containing ¬l resolves tautologically with C on l
+    /// (flipping l can then never break them). Frozen, eliminated, and
+    /// released variables are never witnesses.
+    fn bce_pass(&mut self) {
+        if self.clauses.is_empty() {
+            return;
+        }
+        let mut lits: Vec<Lit> = Vec::new();
+        let mut checked = 0usize;
+        while checked < BCE_CLAUSES_PER_ROUND && checked < self.clauses.len() {
+            if self.elim.bce_head >= self.clauses.len() {
+                self.elim.bce_head = 0;
+            }
+            let cref = self.clauses[self.elim.bce_head];
+            self.elim.bce_head += 1;
+            checked += 1;
+            if self.arena.is_deleted(cref)
+                || self.arena.is_learnt(cref)
+                || self.clause_is_satisfied(cref)
+            {
+                continue;
+            }
+            let len = self.arena.len(cref);
+            lits.clear();
+            for k in 0..len {
+                let l = self.arena.lit(cref, k);
+                if self.lit_value(l) >= L_UNDEF {
+                    lits.push(l);
+                }
+            }
+            if lits.len() < 2 {
+                continue;
+            }
+            self.elim.stamp += 1;
+            let st = self.elim.stamp;
+            for &l in &lits {
+                self.elim.lit_stamp[l.code()] = st;
+            }
+            for &l in &lits {
+                let vi = l.var().index();
+                if self.elim.frozen[vi] || self.elim.eliminated[vi] || self.free_mark[vi] {
+                    continue;
+                }
+                if self.blocks_on(cref, l, st) {
+                    self.elide_clause(cref, l);
+                    self.stats.blocked_clauses += 1;
+                    break;
+                }
+            }
+        }
+    }
+
+    /// `true` when every live, unsatisfied, non-learnt clause containing `!l`
+    /// resolves tautologically with the stamped clause `cref` on `l`.
+    fn blocks_on(&self, cref: ClauseRef, l: Lit, st: u64) -> bool {
+        let occ = &self.elim.occurs[(!l).code()];
+        let mut live = 0usize;
+        for &d in occ {
+            if d == cref || self.arena.is_deleted(d) || self.arena.is_learnt(d) {
+                continue;
+            }
+            if self.clause_is_satisfied(d) {
+                continue;
+            }
+            live += 1;
+            if live > BCE_OCC_CAP {
+                return false;
+            }
+            let mut taut = false;
+            for k in 0..self.arena.len(d) {
+                let q = self.arena.lit(d, k);
+                if q != !l && self.elim.lit_stamp[(!q).code()] == st {
+                    taut = true;
+                    break;
+                }
+            }
+            if !taut {
+                return false;
+            }
+        }
+        true
+    }
+
+    // ------------------------------------------------------------------
+    // Learnt hygiene after BVE
+    // ------------------------------------------------------------------
+
+    /// Deletes every learnt clause mentioning an eliminated variable (learnt
+    /// clauses are implied consequences; keeping ones over elided state would
+    /// let propagation assign variables the search must no longer see).
+    fn sweep_eliminated_learnts(&mut self) {
+        let mut learnts = std::mem::take(&mut self.learnts);
+        let mut kept = 0;
+        let mut i = 0;
+        while i < learnts.len() {
+            let cref = learnts[i];
+            i += 1;
+            if self.arena.is_deleted(cref) {
+                continue;
+            }
+            let dead = (0..self.arena.len(cref))
+                .any(|k| self.elim.eliminated[self.arena.lit(cref, k).var().index()]);
+            if dead {
+                self.delete_clause(cref);
+            } else {
+                learnts[kept] = cref;
+                kept += 1;
+            }
+        }
+        learnts.truncate(kept);
+        self.stats.learnt_clauses = learnts.len() as u64;
+        self.learnts = learnts;
+    }
+}

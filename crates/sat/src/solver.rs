@@ -16,6 +16,13 @@ use crate::stop::StopFlag;
 use plic3_logic::{Clause, Lit, Var};
 use std::fmt;
 
+// CNF inprocessing (BVE / subsumption / BCE) is implemented as a child module
+// so its passes can reach the solver's private state; the `#[path]` keeps the
+// file at `src/eliminate.rs` instead of `src/solver/eliminate.rs`.
+#[path = "eliminate.rs"]
+mod eliminate;
+use eliminate::Eliminator;
+
 /// Result of a [`Solver::solve`] call.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum SatResult {
@@ -79,6 +86,26 @@ pub struct SearchConfig {
     /// its long-run average (the solver is close to a model; Glucose's `R`).
     /// `0.0` disables restart blocking.
     pub restart_blocking: f64,
+    /// Conflicts without a new trail-depth maximum before the Luby-schedule
+    /// fallback may restart a solve whose EMA trigger has not fired at all
+    /// (`0` disables). On workloads with flat LBD profiles — uniform random
+    /// UNSAT is the canonical case — the fast average never exceeds the slow
+    /// one by the margin and plain EMA stops restarting entirely, which both
+    /// loses to a fixed Luby schedule and starves the restart-boundary
+    /// inprocessing passes of their trigger. The fallback restores the
+    /// periodic schedule, but only while the search is *stalled*: a run that
+    /// keeps deepening its best trail is making progress toward a model and
+    /// is left alone, which is what preserves the EMA policy's zero-restart
+    /// advantage on satisfiable workloads whose trigger is equally silent.
+    /// Solves carrying assumptions are exempt altogether: incremental
+    /// queries are short, profit from trail and phase locality across
+    /// calls, and lose more to the forced repropagation than the schedule
+    /// returns. It also stays subject to the trail-blocking rule. A
+    /// single EMA restart disarms the fallback for the rest of the solve: a
+    /// trigger that fired and went quiet is resting on purpose — deep
+    /// refutation phases look exactly like that — while one that never fired
+    /// is dead. Ignored under [`RestartPolicy::Luby`].
+    pub restart_starvation: u64,
     /// Remember the last asserted polarity of a variable and use it for the
     /// next decision on that variable (phase saving).
     pub phase_saving: bool,
@@ -102,6 +129,16 @@ pub struct SearchConfig {
     /// Strengthen clauses found self-subsumed during conflict analysis
     /// (on-the-fly subsumption, applied at the next restart boundary).
     pub subsume: bool,
+    /// Run CNF inprocessing rounds (bounded variable elimination,
+    /// occurrence-index subsumption/strengthening, blocked-clause
+    /// elimination) at restart boundaries. Incremental-safe: assumption
+    /// variables are frozen automatically and eliminated clauses are elided
+    /// to a reconstruction stack (see [`Solver::set_frozen`] and
+    /// `eliminate.rs`).
+    pub elim: bool,
+    /// Minimum number of conflicts between two elimination rounds (the same
+    /// pacing discipline as `vivify_interval`).
+    pub elim_interval: u64,
 }
 
 impl Default for SearchConfig {
@@ -114,12 +151,15 @@ impl Default for SearchConfig {
             restart_min_conflicts: 64,
             restart_base: 100,
             restart_blocking: 1.4,
+            restart_starvation: 24,
             phase_saving: true,
             rephase_interval: 8192,
             chrono: 64,
             vivify: true,
             vivify_interval: 1024,
             subsume: true,
+            elim: true,
+            elim_interval: 2048,
         }
     }
 }
@@ -136,6 +176,7 @@ impl SearchConfig {
             chrono: 0,
             vivify: false,
             subsume: false,
+            elim: false,
             ..SearchConfig::default()
         }
     }
@@ -295,6 +336,19 @@ pub struct Solver {
     ema_trail: Ema,
     conflicts_since_restart: u64,
     luby_restarts: u32,
+    // Per-solve starvation state for the Luby restart fallback (see
+    // `SearchConfig::restart_starvation`): whether the EMA trigger has
+    // produced any restart yet. One EMA restart disarms the fallback for the
+    // rest of the solve — a trigger that fired and went quiet is resting on
+    // purpose (deep refutation phases look exactly like that); one that
+    // never fired is dead.
+    ema_restart_fired: bool,
+    // Trail-progress tracking for the fallback's second gate: the deepest
+    // trail seen this solve and the conflict count when it last improved. A
+    // run still reaching new maxima is heading somewhere (usually a model) —
+    // the fallback leaves it alone even with a dead EMA trigger.
+    progress_trail: usize,
+    progress_conflict: u64,
     // On-the-fly self-subsumption: (clause, pivot literal) pairs detected
     // during conflict analysis, applied at the next restart boundary (the
     // strengthened clause is implied by the resolvent, so deferring is sound).
@@ -303,6 +357,9 @@ pub struct Solver {
     // and the global conflict count at the last round (pacing).
     vivify_head: usize,
     last_vivify_conflicts: u64,
+    // CNF inprocessing state: occurrence lists, freeze/eliminated sets, and
+    // the reconstruction stack of elided clauses (see `eliminate.rs`).
+    elim: Eliminator,
     // Clause activity.
     cla_inc: f64,
     // Adaptive learnt-database limit (grows by 10% per restart, capped by
@@ -388,9 +445,13 @@ impl Solver {
             ema_trail: Ema::default(),
             conflicts_since_restart: 0,
             luby_restarts: 0,
+            ema_restart_fired: false,
+            progress_trail: 0,
+            progress_conflict: 0,
             pending_strengthen: Vec::new(),
             vivify_head: 0,
             last_vivify_conflicts: 0,
+            elim: Eliminator::new(),
             cla_inc: 1.0,
             max_learnts: 0.0,
             seen: Vec::new(),
@@ -438,6 +499,7 @@ impl Solver {
             // pre-release activity; sift it down to match the reset.
             self.order_heap.decreased(i, &self.activity);
             self.order_heap.insert(i, &self.activity);
+            self.elim.on_recycle(i);
             self.stats.recycled_vars += 1;
             return v;
         }
@@ -453,6 +515,7 @@ impl Solver {
         self.best_phase.push(self.config.default_polarity);
         self.seen.push(false);
         self.free_mark.push(false);
+        self.elim.on_fresh_var();
         self.watches.push(Vec::new());
         self.watches.push(Vec::new());
         self.order_heap.grow_to(self.assigns.len());
@@ -608,6 +671,26 @@ impl Solver {
         if let Some(max) = lits.iter().map(|l| l.var().index()).max() {
             self.ensure_vars(max + 1);
         }
+        // A new clause over the witness variable of an elided clause could be
+        // broken by the model-reconstruction flip on that witness: restore
+        // everything first, and freeze the triggering variables so repeated
+        // adds over them cannot thrash eliminate/restore cycles.
+        if self.elim.has_entries() {
+            let mut restore = false;
+            for l in lits.iter() {
+                let v = l.var().index();
+                if self.elim.is_witness_var(v) {
+                    self.set_frozen_raw(v);
+                    restore = true;
+                }
+            }
+            if restore {
+                self.restore_eliminated();
+                if !self.ok {
+                    return false;
+                }
+            }
+        }
         lits.sort_unstable();
         lits.dedup();
         // Tautologies and clauses already satisfied at the top level are
@@ -696,6 +779,11 @@ impl Solver {
             self.learnts.push(cref);
             self.stats.learnt_clauses += 1;
         }
+        if self.config.search.elim {
+            // Queue the clause as a subsumer candidate for the next
+            // elimination round (capped; purely a performance hint).
+            self.elim.touch(cref);
+        }
         self.sync_arena_charge();
         cref
     }
@@ -740,6 +828,13 @@ impl Solver {
             "variable released twice"
         );
         self.stats.released_vars += 1;
+        // The variable index will eventually be recycled by `new_var`; elided
+        // clauses that merely mention it would then be reconstructed against
+        // an unrelated variable, so restore them while the retirement is
+        // still observable.
+        if self.elim.has_entries() && self.elim.is_mentioned_var(lit.var().index()) {
+            self.restore_eliminated();
+        }
         self.free_mark[lit.var().index()] = true;
         self.released_vars.push(lit.var());
         self.add_clause([lit]);
@@ -877,6 +972,7 @@ impl Solver {
         for (cref, _) in self.pending_strengthen.iter_mut() {
             *cref = reloc.map(*cref);
         }
+        self.elim.relocate(&reloc);
         // Only assigned variables carry reasons, and locked clauses are never
         // deleted (deletion clears the reason), so every reason relocates.
         for &lit in &self.trail {
@@ -1418,7 +1514,7 @@ impl Solver {
     fn pick_branch_lit(&mut self) -> Option<Lit> {
         loop {
             let v = self.order_heap.pop_max(&self.activity)?;
-            if self.assigns[v] >= L_UNDEF && !self.free_mark[v] {
+            if self.assigns[v] >= L_UNDEF && !self.free_mark[v] && !self.elim.is_eliminated_idx(v) {
                 let var = Var::new(v as u32);
                 return Some(Lit::new(var, self.polarity[v]));
             }
@@ -1454,33 +1550,66 @@ impl Solver {
         self.rephase_count += 1;
     }
 
+    /// `true` while the trail is so far above its long-run average that a
+    /// restart should be blocked (the solver is probably closing in on a
+    /// model). Counts the block.
+    fn restart_blocked(&mut self) -> bool {
+        let blocking = self.config.search.restart_blocking;
+        if blocking > 0.0 && self.trail.len() as f64 > blocking * self.ema_trail.get() {
+            self.stats.blocked_restarts += 1;
+            return true;
+        }
+        false
+    }
+
     /// Decides whether the search should restart now, per the configured
     /// policy. For the EMA policy this may instead *block* the restart (and
     /// defuse the fast average) while the trail is far above its long-run
     /// average — the solver is probably closing in on a model.
     fn restart_due(&mut self) -> bool {
         let search = self.config.search;
+        let luby_due = {
+            let interval = luby(2.0, self.luby_restarts) * search.restart_base as f64;
+            self.conflicts_since_restart >= interval as u64
+        };
         match search.restart {
-            RestartPolicy::Luby => {
-                let interval = luby(2.0, self.luby_restarts) * search.restart_base as f64;
-                self.conflicts_since_restart >= interval as u64
-            }
+            RestartPolicy::Luby => luby_due,
             RestartPolicy::Ema => {
-                if self.conflicts_since_restart < search.restart_min_conflicts {
-                    return false;
+                let ema_due = self.conflicts_since_restart >= search.restart_min_conflicts
+                    && self.ema_fast.get() > search.restart_margin * self.ema_slow.get();
+                if ema_due {
+                    if self.restart_blocked() {
+                        // Defuse the fast average so the trigger does not
+                        // re-fire on the very next conflict.
+                        let slow = self.ema_slow.get();
+                        self.ema_fast.set(slow);
+                        return false;
+                    }
+                    self.ema_restart_fired = true;
+                    return true;
                 }
-                if self.ema_fast.get() <= search.restart_margin * self.ema_slow.get() {
-                    return false;
-                }
-                if search.restart_blocking > 0.0
-                    && self.trail.len() as f64 > search.restart_blocking * self.ema_trail.get()
+                // Luby fallback for solves whose EMA trigger is dead on
+                // arrival (see `SearchConfig::restart_starvation`): flat LBD
+                // profiles never produce a restart, losing to a periodic
+                // schedule and never reaching the restart-boundary
+                // inprocessing passes. Only fires while the search is stalled
+                // (no new trail maximum for `restart_starvation` conflicts) —
+                // a still-deepening run is converging on a model and keeps
+                // the zero-restart advantage. Assumption-driven solves are
+                // exempt: incremental queries are short, lean on trail and
+                // phase locality across calls, and measurably lose more to
+                // the forced repropagation than they gain from the schedule.
+                // Deep trails still block (without defusing: the fallback
+                // has no trigger state to defuse).
+                if search.restart_starvation > 0
+                    && !self.ema_restart_fired
+                    && self.assumptions.is_empty()
+                    && luby_due
+                    && self.stats.conflicts - self.progress_conflict >= search.restart_starvation
                 {
-                    self.stats.blocked_restarts += 1;
-                    let slow = self.ema_slow.get();
-                    self.ema_fast.set(slow);
-                    return false;
+                    return !self.restart_blocked();
                 }
-                true
+                false
             }
         }
     }
@@ -1499,6 +1628,10 @@ impl Solver {
                         self.proof.add(&[]);
                     }
                     return Some(false);
+                }
+                if self.trail.len() > self.progress_trail {
+                    self.progress_trail = self.trail.len();
+                    self.progress_conflict = self.stats.conflicts;
                 }
                 if self.config.search.rephase_interval > 0 && self.trail.len() > self.best_trail {
                     self.save_best_phase();
@@ -1625,6 +1758,10 @@ impl Solver {
         self.assumptions_sorted.clear();
         self.assumptions_sorted.extend_from_slice(assumptions);
         self.assumptions_sorted.sort_unstable();
+        // Assumption variables must never be eliminated (and elided clauses
+        // whose reconstruction witness they carry must come back before the
+        // search reasons under them).
+        self.freeze_assumptions();
         if !self.simplify_inner(false) {
             return SatResult::Unsat;
         }
@@ -1638,6 +1775,9 @@ impl Solver {
         self.best_trail = 0;
         self.conflicts_since_restart = 0;
         self.luby_restarts = 0;
+        self.ema_restart_fired = false;
+        self.progress_trail = 0;
+        self.progress_conflict = self.stats.conflicts;
         self.rephase_count = 0;
         self.next_rephase = self.config.search.rephase_interval;
         let result;
@@ -1645,6 +1785,11 @@ impl Solver {
             match self.search(start_conflicts) {
                 Some(true) => {
                     self.model.extend_from_slice(&self.assigns);
+                    if self.elim.has_entries() {
+                        // Extend the model over the elided clauses so the
+                        // caller sees a model of everything it ever added.
+                        self.repair_model();
+                    }
                     result = SatResult::Sat;
                     break;
                 }
@@ -1690,6 +1835,14 @@ impl Solver {
                     {
                         self.last_vivify_conflicts = self.stats.conflicts;
                         self.vivify_round();
+                    }
+                    if self.ok
+                        && self.config.search.elim
+                        && self.stats.conflicts - self.elim.last_elim_conflicts
+                            >= self.config.search.elim_interval
+                    {
+                        self.elim.last_elim_conflicts = self.stats.conflicts;
+                        self.eliminate_round();
                     }
                     if !self.ok {
                         // Inprocessing derived top-level unsatisfiability

@@ -27,8 +27,21 @@ pub struct SolverStats {
     pub chrono_backtracks: u64,
     /// Number of learnt clauses shortened by restart-boundary vivification.
     pub vivified_clauses: u64,
-    /// Number of clauses strengthened through on-the-fly self-subsumption.
+    /// Number of clauses strengthened through self-subsumption (on-the-fly
+    /// during conflict analysis, or by the occurrence-index inprocessing
+    /// pass).
     pub strengthened_clauses: u64,
+    /// Number of variables removed by bounded variable elimination.
+    pub eliminated_vars: u64,
+    /// Number of resolvent clauses added by bounded variable elimination.
+    pub elim_resolvents: u64,
+    /// Number of clauses deleted because another clause subsumes them.
+    pub subsumed_clauses: u64,
+    /// Number of clauses elided by blocked-clause elimination.
+    pub blocked_clauses: u64,
+    /// Number of elided clauses re-attached because the caller touched
+    /// eliminated state (new clause, assumption, or variable release).
+    pub restored_clauses: u64,
     /// Number of learnt clauses currently in the database.
     pub learnt_clauses: u64,
     /// Number of learnt clauses removed by database reduction.
@@ -62,6 +75,11 @@ impl SolverStats {
         self.chrono_backtracks += other.chrono_backtracks;
         self.vivified_clauses += other.vivified_clauses;
         self.strengthened_clauses += other.strengthened_clauses;
+        self.eliminated_vars += other.eliminated_vars;
+        self.elim_resolvents += other.elim_resolvents;
+        self.subsumed_clauses += other.subsumed_clauses;
+        self.blocked_clauses += other.blocked_clauses;
+        self.restored_clauses += other.restored_clauses;
         self.learnt_clauses += other.learnt_clauses;
         self.removed_clauses += other.removed_clauses;
         self.original_clauses += other.original_clauses;
@@ -75,7 +93,7 @@ impl fmt::Display for SolverStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "solves={} conflicts={} decisions={} propagations={} restarts={} blocked={} rephases={} chrono={} vivified={} strengthened={} learnt={} removed={} original={} released={} recycled={} gcs={}",
+            "solves={} conflicts={} decisions={} propagations={} restarts={} blocked={} rephases={} chrono={} vivified={} strengthened={} eliminated={} resolvents={} subsumed={} blocked_clauses={} restored={} learnt={} removed={} original={} released={} recycled={} gcs={}",
             self.solves,
             self.conflicts,
             self.decisions,
@@ -86,6 +104,11 @@ impl fmt::Display for SolverStats {
             self.chrono_backtracks,
             self.vivified_clauses,
             self.strengthened_clauses,
+            self.eliminated_vars,
+            self.elim_resolvents,
+            self.subsumed_clauses,
+            self.blocked_clauses,
+            self.restored_clauses,
             self.learnt_clauses,
             self.removed_clauses,
             self.original_clauses,
@@ -113,6 +136,11 @@ mod tests {
             chrono_backtracks: 14,
             vivified_clauses: 15,
             strengthened_clauses: 16,
+            eliminated_vars: 17,
+            elim_resolvents: 18,
+            subsumed_clauses: 19,
+            blocked_clauses: 20,
+            restored_clauses: 21,
             learnt_clauses: 6,
             removed_clauses: 7,
             original_clauses: 8,
@@ -133,6 +161,11 @@ mod tests {
         assert_eq!(a.chrono_backtracks, 28);
         assert_eq!(a.vivified_clauses, 30);
         assert_eq!(a.strengthened_clauses, 32);
+        assert_eq!(a.eliminated_vars, 34);
+        assert_eq!(a.elim_resolvents, 36);
+        assert_eq!(a.subsumed_clauses, 38);
+        assert_eq!(a.blocked_clauses, 40);
+        assert_eq!(a.restored_clauses, 42);
     }
 
     #[test]

@@ -27,18 +27,23 @@ pub fn aggressive(restart: RestartPolicy, chrono: u32, inprocess: bool) -> Searc
         restart_min_conflicts: 2,
         restart_base: 2,
         restart_blocking: 1.4,
+        restart_starvation: 8,
         phase_saving: true,
         rephase_interval: 8,
         chrono,
         vivify: inprocess,
         vivify_interval: 1,
         subsume: inprocess,
+        elim: inprocess,
+        elim_interval: 1,
     }
 }
 
 /// Every search variant under test: the cross product of restart policy,
 /// chronological backtracking, and inprocessing (aggressive knobs), plus the
 /// shipped default and classic configurations, each with a stable label.
+/// (Unused by the elimination test binary, which sweeps its own on/off pair.)
+#[allow(dead_code)]
 pub fn labelled_variants() -> Vec<(String, SearchConfig)> {
     let mut variants = Vec::new();
     for (rname, restart) in [("ema", RestartPolicy::Ema), ("luby", RestartPolicy::Luby)] {

@@ -1,0 +1,343 @@
+//! Differential fuzzing of the CNF inprocessing subsystem (bounded variable
+//! elimination, occurrence-index subsumption/strengthening, blocked-clause
+//! elimination): every verdict is cross-checked against brute force and
+//! against the same solver with elimination off, every model is evaluated
+//! against the *original* clauses (so witness-based reconstruction is what is
+//! actually under test), and — with the `proof-log` feature — every UNSAT
+//! that went through elimination is DRAT-checked end to end.
+//!
+//! The incremental test reproduces IC3's `solve_relative` access pattern:
+//! recycled activation variables, per-round activation clauses, assumption
+//! sets, and `release_var` after each round, all with elimination rounds
+//! forced on aggressively (one per restart).
+//!
+//! Iteration counts scale with `PLIC3_FUZZ_SCALE` (nightly CI sets 10);
+//! every failure message carries the seed.
+
+use plic3_logic::{Clause, Cnf, Lit, SplitMix64 as Rng, Var};
+use plic3_sat::{brute_force_sat, SatResult, SearchConfig, Solver, SolverConfig, SolverStats};
+
+mod common;
+use common::{aggressive, iterations};
+use plic3_sat::RestartPolicy;
+
+const MAX_VAR: u32 = 12;
+
+/// Aggressive knobs with elimination rounds on every restart. Luby restarts
+/// (base 2) fire unconditionally after a couple of conflicts, so elimination
+/// rounds run even on the short solves of this suite (EMA restarts need
+/// conflict streaks these small formulas rarely produce).
+fn elim_on() -> SearchConfig {
+    aggressive(RestartPolicy::Luby, 1, true)
+}
+
+/// The same knobs with every occurrence-index pass off (the "B" side of the
+/// differential; vivification and on-the-fly subsumption stay on so the only
+/// variable is the new subsystem).
+fn elim_off() -> SearchConfig {
+    SearchConfig {
+        elim: false,
+        ..elim_on()
+    }
+}
+
+fn load(cnf: &Cnf, search: SearchConfig) -> Solver {
+    let mut solver = Solver::with_config(SolverConfig {
+        search,
+        ..SolverConfig::default()
+    });
+    solver.enable_proof_tracing();
+    solver.ensure_vars(MAX_VAR as usize);
+    for clause in cnf {
+        solver.add_clause_ref(clause);
+    }
+    solver
+}
+
+/// DRAT-checks the recorded proof after an UNSAT answer; inert without the
+/// `proof-log` feature.
+fn drat_check(name: &str, solver: &Solver, assumptions: &[Lit], seed: u64) {
+    if let Some(proof) = solver.proof() {
+        if let Err(err) = plic3_check::check_unsat_proof(proof, assumptions) {
+            panic!("[{name}] seed {seed}: DRAT check failed: {err}");
+        }
+    }
+}
+
+/// A CNF with the redundancy elimination exists to exploit: a conflict-dense
+/// random 3-CNF core over the low variables, Tseitin-style definition
+/// variables (`d ↔ a ∨ b`, prime BVE pivots) over the high ones, and a few
+/// subsumed supersets of existing clauses.
+fn redundant_cnf(rng: &mut Rng) -> Cnf {
+    let core_vars = 8u32;
+    let mut clauses: Vec<Clause> = Vec::new();
+    let n = 30 + rng.below(8) as usize;
+    for _ in 0..n {
+        let mut picked = [0u32; 3];
+        for i in 0..3 {
+            loop {
+                let candidate = rng.below(core_vars as u64) as u32;
+                if !picked[..i].contains(&candidate) {
+                    picked[i] = candidate;
+                    break;
+                }
+            }
+        }
+        clauses.push(Clause::from_lits(
+            picked.iter().map(|&v| Lit::new(Var::new(v), rng.bool())),
+        ));
+    }
+    // Definition variables d8..d11: d ↔ (a ∨ b) over random core literals.
+    for d in core_vars..MAX_VAR {
+        let dl = Lit::pos(Var::new(d));
+        let a = Lit::new(Var::new(rng.below(core_vars as u64) as u32), rng.bool());
+        let b = Lit::new(Var::new(rng.below(core_vars as u64) as u32), rng.bool());
+        clauses.push(Clause::from_lits([!dl, a, b]));
+        clauses.push(Clause::from_lits([dl, !a]));
+        if b.var() != a.var() {
+            clauses.push(Clause::from_lits([dl, !b]));
+        }
+    }
+    // Subsumed supersets: an existing clause plus two extra literals.
+    for _ in 0..3 {
+        let base = clauses[rng.below(clauses.len() as u64) as usize].clone();
+        let extra =
+            (0..2).map(|_| Lit::new(Var::new(rng.below(MAX_VAR as u64) as u32), rng.bool()));
+        clauses.push(Clause::from_lits(base.iter().chain(extra)));
+    }
+    Cnf::from_clauses(clauses)
+}
+
+/// Up to 2 assumption literals over distinct variables.
+fn arb_assumptions(rng: &mut Rng) -> Vec<Lit> {
+    let mut out: Vec<Lit> = Vec::new();
+    for _ in 0..rng.below(3) {
+        let l = Lit::new(Var::new(rng.below(MAX_VAR as u64) as u32), rng.bool());
+        if !out.iter().any(|o| o.var() == l.var()) {
+            out.push(l);
+        }
+    }
+    out
+}
+
+/// The load-bearing differential: elimination on vs off vs brute force, with
+/// models evaluated against the original clauses (reconstruction correctness)
+/// and DRAT checks on every UNSAT.
+#[test]
+fn elimination_agrees_with_brute_force_and_repairs_models() {
+    let mut rng = Rng::new(0xe11);
+    let mut on_totals = SolverStats::new();
+    for seed in 0..iterations(250) {
+        let cnf = redundant_cnf(&mut rng);
+        let assumptions = arb_assumptions(&mut rng);
+        let expected = brute_force_sat(MAX_VAR as usize, &cnf, &assumptions).is_some();
+        let mut on = load(&cnf, elim_on());
+        let mut off = load(&cnf, elim_off());
+        let got_on = on.solve(&assumptions);
+        let got_off = off.solve(&assumptions);
+        for (name, got, solver) in [("elim-on", got_on, &on), ("elim-off", got_off, &off)] {
+            assert_eq!(
+                got,
+                if expected {
+                    SatResult::Sat
+                } else {
+                    SatResult::Unsat
+                },
+                "[{name}] seed {seed}: {cnf} under {assumptions:?}"
+            );
+            if got == SatResult::Sat {
+                for &a in &assumptions {
+                    assert_eq!(
+                        solver.model_value_lit(a),
+                        Some(true),
+                        "[{name}] seed {seed}: assumption {a} not honoured"
+                    );
+                }
+                // The reconstruction guarantee: the repaired model satisfies
+                // every clause the caller added, including the elided ones.
+                for clause in &cnf {
+                    assert!(
+                        clause
+                            .iter()
+                            .any(|l| solver.model_value_lit(l) == Some(true)),
+                        "[{name}] seed {seed}: model does not satisfy {clause}"
+                    );
+                }
+            } else {
+                drat_check(name, solver, &assumptions, seed);
+            }
+        }
+        if got_on == SatResult::Unsat {
+            // The core must be a subset of the assumptions and sufficient.
+            let core: Vec<Lit> = on.unsat_core().to_vec();
+            for l in &core {
+                assert!(
+                    assumptions.contains(l),
+                    "seed {seed}: core literal {l} not assumed"
+                );
+            }
+            assert!(
+                brute_force_sat(MAX_VAR as usize, &cnf, &core).is_none(),
+                "seed {seed}: core {core:?} is not sufficient for unsat"
+            );
+            // Re-solving the core goes back through elimination-touched state.
+            assert_eq!(on.solve(&core), SatResult::Unsat, "seed {seed}");
+            drat_check("elim-on", &on, &core, seed);
+        }
+        on_totals.merge(on.stats());
+    }
+    // The suite must actually have exercised the subsystem, not just agreed
+    // because nothing ever fired.
+    assert!(
+        on_totals.eliminated_vars > 0,
+        "BVE never fired: {on_totals}"
+    );
+    assert!(
+        on_totals.subsumed_clauses + on_totals.strengthened_clauses > 0,
+        "subsumption never fired: {on_totals}"
+    );
+    assert!(
+        on_totals.elim_resolvents > 0,
+        "BVE never added a resolvent: {on_totals}"
+    );
+}
+
+/// IC3's `solve_relative` shape: a fixed base CNF, then rounds of a fresh
+/// (recycled) activation variable, an activation clause `act → c`, a solve
+/// under `[act, extras...]`, and `release_var(!act)` — with elimination
+/// forced on. Verdicts are cross-checked against brute force on the
+/// activation-free equivalent, models against all live original clauses.
+#[test]
+fn incremental_activation_rounds_stay_sound_with_elimination() {
+    let mut rng = Rng::new(0x1c3e);
+    for seed in 0..iterations(40) {
+        let base = redundant_cnf(&mut rng);
+        let mut solver = load(&base, elim_on());
+        for round in 0..12u64 {
+            let act = Lit::pos(solver.new_var());
+            assert!(
+                !solver.is_eliminated(act.var()),
+                "seed {seed} round {round}: recycled activation variable is eliminated"
+            );
+            let cube: Vec<Lit> = (0..3)
+                .map(|_| Lit::new(Var::new(rng.below(MAX_VAR as u64) as u32), rng.bool()))
+                .collect();
+            let mut activation_clause = vec![!act];
+            activation_clause.extend(&cube);
+            solver.add_clause(activation_clause);
+            let extras = arb_assumptions(&mut rng);
+            let mut assumptions = vec![act];
+            assumptions.extend(extras.iter().filter(|e| e.var() != act.var()));
+            // With `act` assumed true the activation clause reduces to the
+            // cube clause; released rounds contribute nothing.
+            let equivalent: Cnf = base
+                .iter()
+                .cloned()
+                .chain([Clause::from_lits(cube.iter().copied())])
+                .collect();
+            let expected = brute_force_sat(MAX_VAR as usize, &equivalent, &extras).is_some();
+            let got = solver.solve(&assumptions);
+            assert_eq!(
+                got,
+                if expected {
+                    SatResult::Sat
+                } else {
+                    SatResult::Unsat
+                },
+                "seed {seed} round {round}"
+            );
+            if got == SatResult::Sat {
+                for &a in &assumptions {
+                    assert_eq!(
+                        solver.model_value_lit(a),
+                        Some(true),
+                        "seed {seed} round {round}: assumption {a} not honoured"
+                    );
+                }
+                for clause in &base {
+                    assert!(
+                        clause
+                            .iter()
+                            .any(|l| solver.model_value_lit(l) == Some(true)),
+                        "seed {seed} round {round}: model does not satisfy {clause}"
+                    );
+                }
+            } else {
+                drat_check("incremental", &solver, &assumptions, seed);
+            }
+            solver.release_var(!act);
+        }
+    }
+}
+
+/// Explicitly frozen variables are never eliminated, and freezing does not
+/// change verdicts.
+#[test]
+fn frozen_variables_are_never_eliminated() {
+    let mut rng = Rng::new(0xf0f0);
+    for seed in 0..iterations(60) {
+        let cnf = redundant_cnf(&mut rng);
+        let mut solver = load(&cnf, elim_on());
+        for v in 0..MAX_VAR {
+            solver.set_frozen(Var::new(v), true);
+        }
+        let expected = brute_force_sat(MAX_VAR as usize, &cnf, &[]).is_some();
+        let got = solver.solve(&[]);
+        assert_eq!(got == SatResult::Sat, expected, "seed {seed}");
+        assert_eq!(
+            solver.stats().eliminated_vars,
+            0,
+            "seed {seed}: a frozen variable was eliminated"
+        );
+        for v in 0..MAX_VAR {
+            assert!(!solver.is_eliminated(Var::new(v)), "seed {seed}: x{v}");
+        }
+    }
+}
+
+/// Adding a clause over eliminated state after a solve restores the elided
+/// clauses transparently: the combined formula's verdicts and models stay
+/// exact across the restore boundary.
+#[test]
+fn adding_clauses_over_eliminated_variables_restores_soundly() {
+    let mut rng = Rng::new(0xab5e);
+    for seed in 0..iterations(80) {
+        let cnf1 = redundant_cnf(&mut rng);
+        let mut solver = load(&cnf1, elim_on());
+        let first = solver.solve(&[]);
+        assert_eq!(
+            first == SatResult::Sat,
+            brute_force_sat(MAX_VAR as usize, &cnf1, &[]).is_some(),
+            "seed {seed}: first solve"
+        );
+        // Constrain variables elimination may have removed: random binary
+        // clauses over the definition-variable range.
+        let extra: Vec<Clause> = (0..4)
+            .map(|_| {
+                Clause::from_lits(
+                    (0..2)
+                        .map(|_| Lit::new(Var::new(rng.below(MAX_VAR as u64) as u32), rng.bool())),
+                )
+            })
+            .collect();
+        for clause in &extra {
+            solver.add_clause_ref(clause);
+        }
+        let combined: Cnf = cnf1.iter().cloned().chain(extra.iter().cloned()).collect();
+        let expected = brute_force_sat(MAX_VAR as usize, &combined, &[]).is_some();
+        let got = solver.solve(&[]);
+        assert_eq!(got == SatResult::Sat, expected, "seed {seed}: second solve");
+        if got == SatResult::Sat {
+            for clause in &combined {
+                assert!(
+                    clause
+                        .iter()
+                        .any(|l| solver.model_value_lit(l) == Some(true)),
+                    "seed {seed}: model does not satisfy {clause} after restore"
+                );
+            }
+        } else {
+            drat_check("restore", &solver, &[], seed);
+        }
+    }
+}
